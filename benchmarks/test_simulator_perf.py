@@ -1,0 +1,47 @@
+"""Microbenchmarks of the simulation engine itself (sanity that the
+substrate is fast enough for the experiment suite)."""
+
+from repro.experiments.scenarios import corun_scenario
+from repro.sim.engine import Simulator
+from repro.sim.time import ms
+
+
+class TestEngineThroughput:
+    def test_event_dispatch_rate(self, benchmark):
+        def dispatch_10k():
+            sim = Simulator()
+            for _ in range(10_000):
+                sim.schedule(1, lambda _a: None)
+            sim.run()
+            return sim.executed_events
+
+        events = benchmark(dispatch_10k)
+        assert events == 10_000
+
+    def test_process_switch_rate(self, benchmark):
+        def ping_pong():
+            sim = Simulator()
+
+            def proc():
+                for _ in range(2_000):
+                    yield sim.timeout(1)
+
+            sim.process(proc())
+            sim.process(proc())
+            sim.run()
+            return sim.now
+
+        assert benchmark(ping_pong) == 2_000
+
+
+class TestScenarioThroughput:
+    def test_corun_simulation_rate(self, benchmark):
+        """Simulated-vs-wall time for the standard co-run scenario."""
+
+        def run_50ms():
+            system = corun_scenario("gmake").build()
+            system.run(ms(50))
+            return system.sim.executed_events
+
+        events = benchmark.pedantic(run_50ms, rounds=1, iterations=1)
+        assert events > 0

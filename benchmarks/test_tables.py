@@ -1,0 +1,56 @@
+"""Benchmarks regenerating the paper's tables (2, 4a, 4b, 4c)."""
+
+from repro.experiments import table2, table4a, table4b, table4c
+
+from conftest import emit
+
+
+class TestTable2:
+    def test_table2_yield_inflation(self, once):
+        results = once(table2.run)
+        emit(table2.format_result(results))
+        # Shape: per unit of completed work, consolidation inflates
+        # yields by 1-2 orders of magnitude (the paper's counts are per
+        # complete benchmark run, i.e. per fixed amount of work).
+        assert results["dedup"]["inflation"] > 10
+        assert results["vips"]["inflation"] > 10
+        for kind in table2.WORKLOADS:
+            assert results[kind]["inflation"] > 3
+
+
+class TestTable4a:
+    def test_table4a_gmake_lock_waits(self, once):
+        results = once(table4a.run)
+        emit(table4a.format_result(results))
+        # Shape: microsecond-scale solo, 100x+ inflation on the hottest
+        # class under co-run.
+        solo = [entry["solo_us"] for entry in results.values() if entry["solo_count"]]
+        assert solo and max(solo) < 50
+        inflations = [
+            entry["corun_us"] / entry["solo_us"]
+            for entry in results.values()
+            if entry["solo_us"] and entry["corun_count"]
+        ]
+        assert max(inflations) > 50
+
+
+class TestTable4b:
+    def test_table4b_tlb_sync_latency(self, once):
+        results = once(table4b.run)
+        emit(table4b.format_result(results))
+        for kind in table4b.WORKLOADS:
+            solo_avg = results[kind]["solo"]["avg"]
+            corun_avg = results[kind]["corun"]["avg"]
+            assert solo_avg < 200           # tens of µs solo
+            assert corun_avg > 1_000        # milliseconds co-run
+            assert corun_avg > 20 * solo_avg
+
+
+class TestTable4c:
+    def test_table4c_iperf_solo_vs_mixed(self, once):
+        results = once(table4c.run)
+        emit(table4c.format_result(results))
+        solo = results["solo"]
+        mixed = results["mixed"]
+        assert solo["throughput_mbps"] > mixed["throughput_mbps"] * 1.2
+        assert mixed["jitter_ms"] > 10 * max(solo["jitter_ms"], 0.001)

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on offline hosts without the ``wheel``
+package (pip falls back to the ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a simulation-based reproduction of "Accelerating Critical OS
+Services in Virtualized Systems with Flexible Micro-sliced Cores"
+(Ahn, Park, Heo, Huh — EuroSys 2018).
+
+Public surface:
+
+* :mod:`repro.sim` — discrete-event kernel;
+* :mod:`repro.hw` — hardware models (topology, PLE, cache warmth, NIC);
+* :mod:`repro.hypervisor` — Xen-credit-style hypervisor;
+* :mod:`repro.guest` — guest kernel services (locks, TLB, IPIs, net);
+* :mod:`repro.core` — the paper's contribution (detection, micro-sliced
+  pool, Algorithm-1 adaptive sizing);
+* :mod:`repro.workloads` — synthetic PARSEC/MOSBENCH/iPerf models;
+* :mod:`repro.experiments` — scenario builders + per-table/figure
+  harnesses.
+"""
+
+from .core.policy import PolicySpec
+from .experiments.scenarios import (
+    Scenario,
+    corun_scenario,
+    mixed_io_scenario,
+    solo_io_scenario,
+    solo_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PolicySpec",
+    "Scenario",
+    "__version__",
+    "corun_scenario",
+    "mixed_io_scenario",
+    "solo_io_scenario",
+    "solo_scenario",
+]

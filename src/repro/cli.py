@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+Examples::
+
+    repro list                      # experiments and workloads
+    repro run table2                # regenerate one paper table/figure
+    repro run fig9 --seed 7
+    repro corun gmake --policy static:1 --duration-ms 250
+    repro solo exim
+"""
+
+import argparse
+import sys
+
+from .core.policy import PolicySpec
+from .errors import ReproError
+from .experiments import common, corun_scenario, registry, solo_scenario
+from .metrics.report import render_table
+from .sim.time import ms
+from .workloads import registry as workload_registry
+
+
+def _parse_policy(text):
+    """Parse ``baseline`` / ``static:N`` / ``dynamic``."""
+    if text == "baseline":
+        return PolicySpec.baseline()
+    if text == "dynamic":
+        return common.dynamic_policy()
+    if text.startswith("static:"):
+        return PolicySpec.static(int(text.split(":", 1)[1]))
+    raise ReproError("unknown policy %r (baseline | static:N | dynamic)" % text)
+
+
+def _cmd_list(_args):
+    print("experiments: " + ", ".join(registry.available()))
+    print("workloads:   " + ", ".join(workload_registry.available()))
+    return 0
+
+
+def _cmd_run(args):
+    _results, text = registry.run(
+        args.experiment, seed=args.seed, scale_override=args.scale
+    )
+    print(text)
+    return 0
+
+
+def _summarise(result, duration_ns):
+    rows = []
+    for key, workload in sorted(result.workloads.items()):
+        extra = ""
+        if workload.extra:
+            extra = " ".join(
+                "%s=%.4g" % (k, v) for k, v in sorted(workload.extra.items())
+                if isinstance(v, (int, float))
+            )
+        rows.append([key, "%.0f" % workload.rate, extra])
+    print(render_table(["workload", "rate (units/s)", "details"], rows))
+    print()
+    causes = []
+    for domain, yields in sorted(result.domain_yields.items()):
+        causes.append([domain] + [yields.get(c, 0) for c in ("ipi", "spinlock", "halt", "other")])
+    print(render_table(["domain", "ipi", "spinlock", "halt", "other"], causes,
+                       title="yields by cause"))
+    if result.micro_cores or result.adaptive_decisions:
+        print("\nmicro-sliced cores at end: %d" % result.micro_cores)
+
+
+def _cmd_sweep(args):
+    from .sim.time import ms as _ms
+
+    duration = _ms(args.duration_ms)
+    warmup = _ms(min(args.duration_ms // 2, 120))
+    rows = []
+    base_rate = None
+    for cores in range(0, args.max_cores + 1):
+        policy = PolicySpec.baseline() if cores == 0 else PolicySpec.static(cores)
+        result = corun_scenario(args.workload, policy=policy, seed=args.seed).build().run(
+            duration, warmup_ns=warmup
+        )
+        rate = result.rate(args.workload)
+        if base_rate is None:
+            base_rate = rate
+        rows.append([
+            cores,
+            "%.0f" % rate,
+            "%.2fx" % (rate / base_rate if base_rate else 0),
+            "%.0f" % result.rate("swaptions"),
+            result.total_yields("vm1"),
+        ])
+    print(render_table(
+        ["micro cores", "%s/s" % args.workload, "vs baseline", "swaptions/s", "yields"],
+        rows,
+        title="Micro-sliced core sweep: %s + swaptions" % args.workload,
+    ))
+    return 0
+
+
+def _cmd_compare(args):
+    from .sim.time import ms as _ms
+
+    duration = _ms(args.duration_ms)
+    warmup = _ms(min(args.duration_ms // 2, 120))
+    rows = []
+    base_rate = None
+    for label, policy in (
+        ("baseline", PolicySpec.baseline()),
+        ("static:%d" % args.cores, PolicySpec.static(args.cores)),
+        ("dynamic", common.dynamic_policy()),
+    ):
+        result = corun_scenario(args.workload, policy=policy, seed=args.seed).build().run(
+            duration, warmup_ns=warmup
+        )
+        rate = result.rate(args.workload)
+        if base_rate is None:
+            base_rate = rate
+        rows.append([
+            label,
+            "%.0f" % rate,
+            "%.2fx" % (rate / base_rate if base_rate else 0),
+            result.hv_counters.get("migrations", 0),
+            result.micro_cores,
+        ])
+    print(render_table(
+        ["policy", "%s/s" % args.workload, "vs baseline", "migrations", "final cores"],
+        rows,
+        title="Policy comparison: %s + swaptions" % args.workload,
+    ))
+    return 0
+
+
+def _cmd_scenario(args, builder):
+    scenario = builder(args.workload, policy=_parse_policy(args.policy), seed=args.seed)
+    duration = ms(args.duration_ms)
+    result = scenario.build().run(duration)
+    _summarise(result, duration)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flexible micro-sliced cores (EuroSys '18) — "
+        "simulation-based reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and workloads")
+
+    run_p = sub.add_parser("run", help="regenerate one paper table/figure")
+    run_p.add_argument("experiment", choices=registry.available())
+    run_p.add_argument("--seed", type=int, default=42)
+    run_p.add_argument("--scale", type=float, default=None,
+                       help="duration multiplier (default: REPRO_BENCH_SCALE or 1.0)")
+
+    for name, help_text in (
+        ("corun", "run a workload co-located with swaptions"),
+        ("solo", "run a workload alone on the host"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("workload", choices=workload_registry.available())
+        p.add_argument("--policy", default="baseline",
+                       help="baseline | static:N | dynamic")
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--duration-ms", type=int, default=250)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="sweep micro-sliced core counts for one workload"
+    )
+    sweep_p.add_argument("workload", choices=workload_registry.available())
+    sweep_p.add_argument("--max-cores", type=int, default=4)
+    sweep_p.add_argument("--seed", type=int, default=42)
+    sweep_p.add_argument("--duration-ms", type=int, default=250)
+
+    cmp_p = sub.add_parser(
+        "compare", help="compare baseline/static/dynamic for one workload"
+    )
+    cmp_p.add_argument("workload", choices=workload_registry.available())
+    cmp_p.add_argument("--cores", type=int, default=1,
+                       help="static micro-sliced core count")
+    cmp_p.add_argument("--seed", type=int, default=42)
+    cmp_p.add_argument("--duration-ms", type=int, default=250)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "corun":
+            return _cmd_scenario(args, corun_scenario)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "solo":
+            return _cmd_scenario(args, lambda wl, policy, seed: solo_scenario(wl, policy=policy, seed=seed))
+    except ReproError as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Adaptive sizing of the micro-sliced pool — Algorithm 1 of the paper.
+
+A timer-driven controller alternates between *profile* phases (short
+10 ms intervals during which it varies the number of micro-sliced cores
+and records urgent-event counts) and *run* phases (1 s with the chosen
+configuration):
+
+* no urgent events while at 0 cores → stay at 0 for a whole epoch;
+* PLE- or IRQ-dominant load → one micro-sliced core suffices
+  (early termination);
+* IPI-dominant load (TLB shootdowns involve many vCPUs) → sweep the
+  core count up to ``NUM_LIMIT_UCORES``, then keep the configuration
+  that produced the fewest IPI yields.
+"""
+
+from ..sim.time import ms
+
+#: Default Algorithm-1 parameters (paper §4.3/§5).
+PROFILE_INTERVAL = ms(10)
+EPOCH_INTERVAL = ms(1000)
+NUM_LIMIT_UCORES = 3
+#: Events per profile interval below which the system counts as idle.
+URGENT_THRESHOLD = 1
+
+
+class AdaptiveController:
+    """Faithful port of Algorithm 1 (AdaptiveMicroSlicedCores)."""
+
+    def __init__(
+        self,
+        profile_interval=PROFILE_INTERVAL,
+        epoch_interval=EPOCH_INTERVAL,
+        limit=NUM_LIMIT_UCORES,
+        urgent_threshold=URGENT_THRESHOLD,
+    ):
+        self.profile_interval = profile_interval
+        self.epoch_interval = epoch_interval
+        self.limit = limit
+        self.urgent_threshold = urgent_threshold
+        self.hv = None
+        self.profile_mode = False
+        self.num_ucores = 0
+        self.ur_events = {}
+        self.decisions = []   # (time, num_ucores) history for tests/plots
+
+    def start(self, hv):
+        self.hv = hv
+        hv.stats.mark_window()
+        hv.sim.schedule(self.profile_interval, self._tick)
+
+    # ------------------------------------------------------------------
+    def _apply(self, count):
+        self.num_ucores = count
+        self.hv.set_micro_cores(count)
+        self.decisions.append((self.hv.sim.now, count))
+
+    def _urgent(self, events):
+        return (
+            events["ipi"] >= self.urgent_threshold
+            or events["ple"] >= self.urgent_threshold
+            or events["irq"] >= self.urgent_threshold
+        )
+
+    def _find_best_ucore_count(self):
+        """The profiled core count with the fewest IPI yields (ties go
+        to fewer cores, preserving normal-pool capacity)."""
+        best_count, best_ipis = 1, None
+        for count in range(1, self.limit + 1):
+            events = self.ur_events.get(count)
+            if events is None:
+                continue
+            if best_ipis is None or events["ipi"] < best_ipis:
+                best_count, best_ipis = count, events["ipi"]
+        return best_count
+
+    def _tick(self, _arg=None):
+        hv = self.hv
+        stats = hv.stats
+        if not self.profile_mode:
+            # Initialise a profiling phase: observe one interval with no
+            # micro-sliced cores.
+            self.profile_mode = True
+            self.ur_events = {}
+            self._apply(0)
+            interval = self.profile_interval
+            stats.mark_window()
+            hv.sim.schedule(interval, self._tick)
+            return
+
+        current = stats.window_events()
+        self.ur_events[self.num_ucores] = current
+        interval = self.profile_interval
+
+        if self.num_ucores == 0:
+            if not self._urgent(current):
+                # Nothing urgent happened: skip this epoch entirely.
+                self.profile_mode = False
+                interval = self.epoch_interval
+            else:
+                self._apply(1)
+                if current["ipi"] > current["ple"] or current["ipi"] > current["irq"]:
+                    # IPI dominant: keep profiling core counts.
+                    pass
+                else:
+                    # PLE/IRQ dominant: one core covers it (early
+                    # termination).
+                    self.profile_mode = False
+                    interval = self.epoch_interval
+        elif self.num_ucores < self.limit:
+            self._apply(self.num_ucores + 1)
+        else:
+            self._apply(self._find_best_ucore_count())
+            self.profile_mode = False
+            interval = self.epoch_interval
+
+        stats.mark_window()
+        hv.sim.schedule(interval, self._tick)

@@ -1,0 +1,71 @@
+"""Critical-OS-service detection (§4.1 of the paper).
+
+The hypervisor is guest-agnostic: all it can see of a preempted vCPU is
+its register state. The detector reads the vCPU's instruction pointer,
+resolves it against that guest's kernel symbol table (``System.map``,
+provided out of band), and checks the symbol against the Table-3
+whitelist. A hit identifies a vCPU suspended inside a critical OS
+service — a lock holder mid-critical-section, a TLB-shootdown
+participant, an interrupt path — without any guest modification.
+"""
+
+from .whitelist import SIBLING_CLASSES, classify
+
+
+class Detection:
+    """The result of classifying one vCPU."""
+
+    __slots__ = ("vcpu", "symbol", "critical_class")
+
+    def __init__(self, vcpu, symbol, critical_class):
+        self.vcpu = vcpu
+        self.symbol = symbol
+        self.critical_class = critical_class
+
+    @property
+    def critical(self):
+        return self.critical_class is not None
+
+    def __repr__(self):
+        return "<Detection %s %s -> %s>" % (
+            self.vcpu.name,
+            self.symbol,
+            self.critical_class,
+        )
+
+
+class CriticalServiceDetector:
+    """IP -> symbol -> criticality, per the whitelist."""
+
+    def __init__(self, whitelist_classify=classify):
+        self._classify = whitelist_classify
+        self.inspections = 0
+        self.hits = 0
+
+    def inspect(self, vcpu):
+        """Classify one vCPU from its current instruction pointer."""
+        self.inspections += 1
+        table = vcpu.domain.kernel.symbols
+        symbol = table.resolve_name(vcpu.ip)
+        critical_class = self._classify(symbol)
+        if critical_class is not None:
+            self.hits += 1
+        return Detection(vcpu, symbol, critical_class)
+
+    def scan_preempted_siblings(self, vcpu):
+        """Inspect the *preempted* (runnable but descheduled) siblings of
+        ``vcpu``; returns the critical detections (Figure 1, steps 2-3)."""
+        found = []
+        for sibling in vcpu.domain.siblings_of(vcpu):
+            if sibling.running or sibling.state != "runnable":
+                continue
+            detection = self.inspect(sibling)
+            if detection.critical:
+                found.append(detection)
+        return found
+
+    @staticmethod
+    def needs_siblings(critical_class):
+        """Does accelerating this class require pulling in the sibling
+        vCPUs too (one-to-many IPI protocols)?"""
+        return critical_class in SIBLING_CLASSES

@@ -1,0 +1,66 @@
+"""Micro-slicing policy configurations.
+
+Three schemes appear throughout the evaluation:
+
+* ``baseline`` — vanilla credit scheduler, no micro-sliced cores;
+* ``static(n)`` — the engine with a fixed pool of ``n`` micro cores
+  (the administrator-tuned mode, used for Figures 4/5 sweeps);
+* ``dynamic`` — the engine plus the Algorithm-1 adaptive controller.
+"""
+
+from ..errors import ConfigError
+from .adaptive import AdaptiveController
+from .microslice import MicroSliceEngine
+from .usercrit import UserAwareDetector
+
+BASELINE = "baseline"
+STATIC = "static"
+DYNAMIC = "dynamic"
+
+
+class PolicySpec:
+    """Declarative policy choice, applied to a hypervisor at start."""
+
+    def __init__(
+        self, mode=BASELINE, micro_cores=0, adaptive_kwargs=None, user_critical=False
+    ):
+        if mode not in (BASELINE, STATIC, DYNAMIC):
+            raise ConfigError("unknown policy mode %r" % mode)
+        if mode == STATIC and micro_cores <= 0:
+            raise ConfigError("static policy needs micro_cores >= 1")
+        self.mode = mode
+        self.micro_cores = micro_cores
+        self.adaptive_kwargs = dict(adaptive_kwargs or {})
+        #: §4.4 extension: also detect registered user-level critical
+        #: regions through the per-process table.
+        self.user_critical = user_critical
+
+    @classmethod
+    def baseline(cls):
+        return cls(BASELINE)
+
+    @classmethod
+    def static(cls, micro_cores, user_critical=False):
+        return cls(STATIC, micro_cores=micro_cores, user_critical=user_critical)
+
+    @classmethod
+    def dynamic(cls, user_critical=False, **adaptive_kwargs):
+        return cls(DYNAMIC, adaptive_kwargs=adaptive_kwargs, user_critical=user_critical)
+
+    def install(self, hv):
+        """Wire the policy into ``hv`` (before ``hv.start()``)."""
+        if self.mode == BASELINE:
+            return None
+        detector = UserAwareDetector() if self.user_critical else None
+        engine = MicroSliceEngine(detector=detector)
+        if self.mode == DYNAMIC:
+            engine.controller = AdaptiveController(**self.adaptive_kwargs)
+        hv.set_policy(engine)
+        if self.mode == STATIC:
+            hv.set_micro_cores(self.micro_cores)
+        return engine
+
+    def __repr__(self):
+        if self.mode == STATIC:
+            return "PolicySpec(static, %d cores)" % self.micro_cores
+        return "PolicySpec(%s)" % self.mode

@@ -1,0 +1,78 @@
+"""The critical-OS-service whitelist (Table 3 of the paper).
+
+Maps guest kernel symbols to the class of critical service they belong
+to. The detector resolves a preempted vCPU's instruction pointer to a
+symbol and consults this table; a hit means the vCPU was suspended inside
+a critical OS service and is a candidate for the micro-sliced pool.
+"""
+
+
+class CriticalClass:
+    """Categories of critical services; the category decides the
+    acceleration action (see §4.2 of the paper)."""
+
+    IRQ = "irq"
+    IPI = "ipi"
+    TLB = "tlb"
+    MM = "mm"
+    SCHED = "sched"
+    SPINLOCK = "spinlock"
+    RWSEM = "rwsem"
+
+    ALL = (IRQ, IPI, TLB, MM, SCHED, SPINLOCK, RWSEM)
+
+
+#: Table 3, transcribed: module -> file -> operation -> class.
+CRITICAL_SYMBOLS = {
+    # irq module
+    "irq_enter": CriticalClass.IRQ,
+    "irq_exit": CriticalClass.IRQ,
+    "handle_percpu_irq": CriticalClass.IRQ,
+    # kernel/smp.c
+    "smp_call_function_single": CriticalClass.IPI,
+    "smp_call_function_many": CriticalClass.IPI,
+    # mm/tlb.c
+    "do_flush_tlb_all": CriticalClass.TLB,
+    "flush_tlb_all": CriticalClass.TLB,
+    "native_flush_tlb_others": CriticalClass.TLB,
+    "flush_tlb_func": CriticalClass.TLB,
+    "flush_tlb_current_task": CriticalClass.TLB,
+    "flush_tlb_mm_range": CriticalClass.TLB,
+    "flush_tlb_page": CriticalClass.TLB,
+    "leave_mm": CriticalClass.TLB,
+    # mm/page_alloc.c, mm/swap.c
+    "get_page_from_freelist": CriticalClass.MM,
+    "free_one_page": CriticalClass.MM,
+    "release_pages": CriticalClass.MM,
+    # kernel/sched/core.c
+    "scheduler_ipi": CriticalClass.SCHED,
+    "resched_curr": CriticalClass.SCHED,
+    "kick_process": CriticalClass.SCHED,
+    "sched_ttwu_pending": CriticalClass.SCHED,
+    "ttwu_do_activate": CriticalClass.SCHED,
+    "ttwu_do_wakeup": CriticalClass.SCHED,
+    # spinlock release paths (a vCPU whose IP sits here is inside, or
+    # leaving, a critical section)
+    "__raw_spin_unlock": CriticalClass.SPINLOCK,
+    "__raw_spin_unlock_irq": CriticalClass.SPINLOCK,
+    "_raw_spin_unlock_irqrestore": CriticalClass.SPINLOCK,
+    "_raw_spin_unlock_bh": CriticalClass.SPINLOCK,
+    # rwsem wake paths
+    "__rwsem_do_wake": CriticalClass.RWSEM,
+    "rwsem_wake": CriticalClass.RWSEM,
+}
+
+#: Classes whose acceleration must also pull in preempted *siblings*
+#: (one-to-many IPIs: every recipient has to run to acknowledge).
+SIBLING_CLASSES = frozenset({CriticalClass.TLB, CriticalClass.IPI})
+
+
+def classify(symbol_name):
+    """Critical class for a symbol name, or ``None`` if not critical."""
+    if symbol_name is None:
+        return None
+    return CRITICAL_SYMBOLS.get(symbol_name)
+
+
+def is_critical(symbol_name):
+    return symbol_name in CRITICAL_SYMBOLS

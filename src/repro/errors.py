@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures without catching programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly or reached an
+    inconsistent state (e.g. yielding a non-event from a process)."""
+
+
+class ConfigError(ReproError):
+    """A scenario, topology, or scheduler configuration is invalid."""
+
+
+class SchedulerError(ReproError):
+    """The hypervisor scheduler reached an inconsistent state."""
+
+
+class GuestError(ReproError):
+    """A guest-kernel model invariant was violated (e.g. releasing a
+    spinlock the vCPU does not hold)."""
+
+
+class WorkloadError(ReproError):
+    """A workload model was configured or driven incorrectly."""
+
+
+class SymbolTableError(ReproError):
+    """A kernel symbol table could not be built, parsed, or queried."""

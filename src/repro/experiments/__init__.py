@@ -1,0 +1,31 @@
+"""Experiment harnesses: scenario builders plus one module per paper
+table and figure (see :mod:`repro.experiments.registry`)."""
+
+from . import ablations, common, registry
+from .results import RunResult, WorkloadResult
+from .scenarios import (
+    Scenario,
+    System,
+    VmSpec,
+    WorkloadSpec,
+    corun_scenario,
+    mixed_io_scenario,
+    solo_io_scenario,
+    solo_scenario,
+)
+
+__all__ = [
+    "RunResult",
+    "Scenario",
+    "System",
+    "VmSpec",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "ablations",
+    "common",
+    "corun_scenario",
+    "mixed_io_scenario",
+    "registry",
+    "solo_io_scenario",
+    "solo_scenario",
+]

@@ -1,0 +1,116 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These go beyond the paper's own figures:
+
+* **fixed micro-slicing** — shorten the time slice for *every* core
+  (the MICRO'14 software approach the paper argues against): critical
+  services speed up, but user-level code pays context-switch and
+  cache-refill costs;
+* **PLE window sensitivity** — how the trap threshold shapes yield
+  counts and throughput;
+* **micro-slice length sensitivity** — why 0.1 ms (shorter = lower
+  latency but more switching; longer = queueing delay on the micro
+  pool);
+* **selective acceleration** — disable the vIRQ/vIPI relay hooks and
+  keep only yield-driven detection (quantifies the I/O path's share).
+"""
+
+from ..core.microslice import MicroSliceEngine
+from ..core.policy import PolicySpec
+from ..hw.ple import PleConfig
+from ..metrics.report import render_table
+from ..sim.time import ms, us
+from . import common
+from .scenarios import corun_scenario, mixed_io_scenario
+
+
+def run_fixed_microslice(seed=42, scale_override=None, kind="gmake"):
+    """Baseline vs our scheme vs short-slice-everywhere."""
+    _w = common.warmup(scale_override)
+    duration = common.scaled(common.CORUN_DURATION, scale_override)
+    results = {}
+    base = corun_scenario(kind, seed=seed).build().run(duration, warmup_ns=_w)
+    results["baseline"] = {"target": base.rate(kind), "corunner": base.rate("swaptions")}
+
+    ours = corun_scenario(kind, policy=PolicySpec.static(common.STATIC_BEST.get(kind, 1)), seed=seed)
+    res = ours.build().run(duration, warmup_ns=_w)
+    results["micro_pool"] = {"target": res.rate(kind), "corunner": res.rate("swaptions")}
+
+    fixed = corun_scenario(kind, seed=seed)
+    fixed.normal_slice = us(100)
+    res = fixed.build().run(duration, warmup_ns=_w)
+    results["fixed_100us_all_cores"] = {
+        "target": res.rate(kind),
+        "corunner": res.rate("swaptions"),
+    }
+    base_t = results["baseline"]["target"]
+    base_c = results["baseline"]["corunner"]
+    for entry in results.values():
+        entry["target_x"] = common.improvement(base_t, entry["target"])
+        entry["corunner_x"] = common.improvement(base_c, entry["corunner"])
+    return results
+
+
+def run_ple_window(seed=42, scale_override=None, kind="exim", windows_us=(1, 3, 10, 25)):
+    """Yield counts and throughput vs the PLE window."""
+    _w = common.warmup(scale_override)
+    duration = common.scaled(common.CORUN_DURATION, scale_override)
+    results = {}
+    for window in windows_us:
+        scenario = corun_scenario(kind, seed=seed)
+        scenario.ple = PleConfig(window=us(window))
+        res = scenario.build().run(duration, warmup_ns=_w)
+        results[window] = {
+            "target_rate": res.rate(kind),
+            "yields": res.total_yields("vm1"),
+        }
+    return results
+
+
+def run_micro_slice_length(seed=42, scale_override=None, kind="dedup", slices_us=(50, 100, 300, 1000)):
+    """Target throughput vs the micro pool's slice length."""
+    _w = common.warmup(scale_override)
+    duration = common.scaled(common.CORUN_DURATION, scale_override)
+    results = {}
+    base = corun_scenario(kind, seed=seed).build().run(duration, warmup_ns=_w)
+    results["baseline"] = {"target_rate": base.rate(kind)}
+    for slice_us in slices_us:
+        scenario = corun_scenario(
+            kind, policy=PolicySpec.static(common.STATIC_BEST.get(kind, 3)), seed=seed
+        )
+        scenario.micro_slice = us(slice_us)
+        res = scenario.build().run(duration, warmup_ns=_w)
+        results[slice_us] = {"target_rate": res.rate(kind)}
+    return results
+
+
+def run_selective_acceleration(seed=42, scale_override=None):
+    """Contribution of the relay-time hooks for the mixed-I/O case."""
+    _w = common.warmup(scale_override)
+    duration = common.scaled(common.IO_DURATION, scale_override)
+    results = {}
+    base = mixed_io_scenario(mode="tcp", seed=seed).build().run(duration, warmup_ns=_w)
+    results["baseline"] = base.workload("iperf").extra
+
+    full = mixed_io_scenario(mode="tcp", policy=PolicySpec.static(1), seed=seed)
+    results["full"] = full.build().run(duration, warmup_ns=_w).workload("iperf").extra
+
+    yield_only = mixed_io_scenario(mode="tcp", seed=seed)
+    system = yield_only.build()
+    engine = MicroSliceEngine(accelerate_virq=False, accelerate_vipi=False)
+    system.hv.set_policy(engine)
+    system.hv.set_micro_cores(1)
+    results["yield_only"] = system.run(duration, warmup_ns=_w).workload("iperf").extra
+    return results
+
+
+def format_fixed_microslice(results):
+    rows = [
+        [label, "%.2fx" % entry["target_x"], "%.2fx" % entry["corunner_x"]]
+        for label, entry in results.items()
+    ]
+    return render_table(
+        ["scheme", "target vs baseline", "swaptions vs baseline"],
+        rows,
+        title="Ablation: micro pool vs fixed short slices on all cores",
+    )

@@ -1,0 +1,75 @@
+"""Figure 4 — normalized execution time vs number of micro-sliced
+cores (gmake, memclone, dedup, vips, each co-run with swaptions).
+
+Paper shapes to reproduce:
+
+* gmake / memclone: one micro-sliced core already yields a large
+  improvement; more cores add little (and eventually cost capacity);
+* dedup / vips (TLB-shootdown bound): a *single* micro-sliced core is
+  counter-productive; two-three cores give the best result (paper:
+  +49% / +17% combined throughput at three cores);
+* swaptions (the co-runner) degrades mildly as cores are removed from
+  the normal pool.
+"""
+
+from ..core.policy import PolicySpec
+from ..metrics.report import render_table
+from . import common
+from .scenarios import corun_scenario
+
+WORKLOADS = ("gmake", "memclone", "dedup", "vips")
+DEFAULT_CORE_COUNTS = (0, 1, 2, 3, 4, 5, 6)
+
+
+def run(seed=42, scale_override=None, workloads=WORKLOADS, core_counts=DEFAULT_CORE_COUNTS):
+    """Returns ``{workload: {cores: {"target": norm_time, "corunner":
+    norm_time, "target_rate": r, "corunner_rate": r}}}`` where
+    normalized execution time is relative to the 0-core baseline."""
+    _w = common.warmup(scale_override)
+    duration = common.scaled(common.CORUN_DURATION, scale_override)
+    results = {}
+    for kind in workloads:
+        per_cores = {}
+        base_target = base_corunner = None
+        for cores in core_counts:
+            policy = PolicySpec.baseline() if cores == 0 else PolicySpec.static(cores)
+            res = corun_scenario(kind, policy=policy, seed=seed).build().run(duration, warmup_ns=_w)
+            target_rate = res.rate(kind)
+            corunner_rate = res.rate("swaptions")
+            if cores == 0:
+                base_target, base_corunner = target_rate, corunner_rate
+            per_cores[cores] = {
+                "target_rate": target_rate,
+                "corunner_rate": corunner_rate,
+                "target": common.normalized_time(base_target, target_rate),
+                "corunner": common.normalized_time(base_corunner, corunner_rate),
+            }
+        results[kind] = per_cores
+    return results
+
+
+def best_core_count(per_cores):
+    """The core count minimising the target's normalized time."""
+    candidates = [(entry["target"], cores) for cores, entry in per_cores.items() if cores > 0]
+    return min(candidates)[1] if candidates else 0
+
+
+def format_result(results):
+    core_counts = sorted(next(iter(results.values())))
+    headers = ["workload", "series"] + ["%d cores" % c for c in core_counts]
+    rows = []
+    for kind, per_cores in results.items():
+        rows.append(
+            [kind, "norm. time"]
+            + ["%.2f" % per_cores[c]["target"] for c in core_counts]
+        )
+        rows.append(
+            ["(swaptions)", "norm. time"]
+            + ["%.2f" % per_cores[c]["corunner"] for c in core_counts]
+        )
+    return render_table(
+        headers,
+        rows,
+        title="Figure 4: normalized execution time vs #micro-sliced cores "
+        "(lower is better; 0 cores = baseline)",
+    )

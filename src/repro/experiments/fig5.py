@@ -1,0 +1,61 @@
+"""Figure 5 — throughput improvement vs number of micro-sliced cores
+(exim and psearchy, co-run with swaptions).
+
+Paper shapes: exim improves ~3.9x with a single micro-sliced core (the
+workload is spinlock/LHP bound, one core covers it) at ~10% swaptions
+cost; psearchy improves ~1.4x.
+"""
+
+from ..core.policy import PolicySpec
+from ..metrics.report import render_table
+from . import common
+from .scenarios import corun_scenario
+
+WORKLOADS = ("exim", "psearchy")
+DEFAULT_CORE_COUNTS = (0, 1, 2, 3, 4, 5, 6)
+
+PAPER_IMPROVEMENT_AT_1 = {"exim": 3.9, "psearchy": 1.4}
+
+
+def run(seed=42, scale_override=None, workloads=WORKLOADS, core_counts=DEFAULT_CORE_COUNTS):
+    _w = common.warmup(scale_override)
+    duration = common.scaled(common.CORUN_DURATION, scale_override)
+    results = {}
+    for kind in workloads:
+        per_cores = {}
+        base_target = base_corunner = None
+        for cores in core_counts:
+            policy = PolicySpec.baseline() if cores == 0 else PolicySpec.static(cores)
+            res = corun_scenario(kind, policy=policy, seed=seed).build().run(duration, warmup_ns=_w)
+            target_rate = res.rate(kind)
+            corunner_rate = res.rate("swaptions")
+            if cores == 0:
+                base_target, base_corunner = target_rate, corunner_rate
+            per_cores[cores] = {
+                "target_rate": target_rate,
+                "improvement": common.improvement(base_target, target_rate),
+                "corunner": common.normalized_time(base_corunner, corunner_rate),
+            }
+        results[kind] = per_cores
+    return results
+
+
+def format_result(results):
+    core_counts = sorted(next(iter(results.values())))
+    headers = ["workload", "series"] + ["%d cores" % c for c in core_counts]
+    rows = []
+    for kind, per_cores in results.items():
+        rows.append(
+            [kind, "throughput x"]
+            + ["%.2f" % per_cores[c]["improvement"] for c in core_counts]
+        )
+        rows.append(
+            ["(swaptions)", "norm. time"]
+            + ["%.2f" % per_cores[c]["corunner"] for c in core_counts]
+        )
+    return render_table(
+        headers,
+        rows,
+        title="Figure 5: throughput improvement vs #micro-sliced cores "
+        "(paper: exim 3.9x @1, psearchy 1.4x @1)",
+    )

@@ -1,0 +1,56 @@
+"""Figure 9 — I/O performance of mixed-behaviour VMs.
+
+VM-1 hosts iPerf *and* lookbusy on one vCPU; VM-2 hosts lookbusy; both
+vCPUs are pinned to the same pCPU. Xen's BOOST cannot fire (the vCPU is
+always runnable), so in the baseline vIRQ handling waits out the
+co-runner's slices. The micro-sliced scheme migrates the vIRQ recipient
+onto a micro-sliced core at relay time.
+
+Reproduction targets (paper): TCP and UDP bandwidth improve markedly
+under the micro-sliced scheme; jitter collapses from ~8 ms to ~0.
+"""
+
+from ..core.policy import PolicySpec
+from ..metrics.report import render_table
+from . import common
+from .scenarios import mixed_io_scenario, solo_io_scenario
+
+MODES = ("tcp", "udp")
+
+
+def run(seed=42, scale_override=None, modes=MODES):
+    _w = common.warmup(scale_override)
+    duration = common.scaled(common.IO_DURATION, scale_override)
+    results = {}
+    for mode in modes:
+        solo = solo_io_scenario(mode=mode, seed=seed).build().run(duration, warmup_ns=_w)
+        base = mixed_io_scenario(mode=mode, policy=PolicySpec.baseline(), seed=seed).build().run(duration, warmup_ns=_w)
+        micro = mixed_io_scenario(mode=mode, policy=PolicySpec.static(1), seed=seed).build().run(duration, warmup_ns=_w)
+        results[mode] = {
+            "solo": solo.workload("iperf").extra,
+            "baseline": base.workload("iperf").extra,
+            "microsliced": micro.workload("iperf").extra,
+        }
+    return results
+
+
+def format_result(results):
+    rows = []
+    for mode, configs in results.items():
+        for label in ("solo", "baseline", "microsliced"):
+            io = configs[label]
+            rows.append(
+                [
+                    mode.upper(),
+                    label,
+                    "%.0f" % io["throughput_mbps"],
+                    "%.4f" % io["jitter_ms"],
+                    io["dropped"],
+                ]
+            )
+    return render_table(
+        ["mode", "config", "bandwidth (Mbps)", "jitter (ms)", "drops"],
+        rows,
+        title="Figure 9: mixed-VM I/O (paper: baseline ~8 ms jitter, "
+        "micro-sliced ~0; bandwidth recovers)",
+    )

@@ -1,0 +1,39 @@
+"""Name → experiment module registry (used by the CLI and the bench
+harness)."""
+
+from ..errors import ConfigError
+from . import fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table4a, table4b, table4c
+
+_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table4a": table4a,
+    "table4b": table4b,
+    "table4c": table4c,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+}
+
+
+def available():
+    return sorted(_EXPERIMENTS)
+
+
+def get(name):
+    module = _EXPERIMENTS.get(name)
+    if module is None:
+        raise ConfigError(
+            "unknown experiment %r (available: %s)" % (name, ", ".join(available()))
+        )
+    return module
+
+
+def run(name, **kwargs):
+    """Run one experiment; returns ``(results, formatted_text)``."""
+    module = get(name)
+    results = module.run(**kwargs)
+    return results, module.format_result(results)

@@ -1,0 +1,78 @@
+"""Result collection for experiment runs."""
+
+
+class WorkloadResult:
+    """Progress + workload-specific extras for one installed workload."""
+
+    def __init__(self, key, progress, rate, extra):
+        self.key = key
+        self.progress = progress
+        self.rate = rate
+        self.extra = extra
+
+    def __repr__(self):
+        return "<WorkloadResult %s rate=%.1f/s>" % (self.key, self.rate)
+
+
+class RunResult:
+    """Everything an experiment needs from one simulation run."""
+
+    def __init__(self, scenario_name, duration_ns):
+        self.scenario_name = scenario_name
+        self.duration_ns = duration_ns
+        self.workloads = {}
+        self.hv_counters = {}
+        self.domain_yields = {}
+        self.domain_counters = {}
+        self.lockstats = {}
+        self.tlb_stats = {}
+        self.micro_cores = 0
+        self.utilization = 0.0
+        self.adaptive_decisions = []
+
+    @classmethod
+    def collect(cls, system, duration_ns):
+        hv = system.hv
+        result = cls(system.scenario.name, duration_ns)
+        for key, workload in system.workloads.items():
+            result.workloads[key] = WorkloadResult(
+                key,
+                workload.progress(),
+                workload.rate(duration_ns),
+                workload.extra_results(),
+            )
+        result.hv_counters = hv.stats.counters.as_dict()
+        for domain in hv.domains:
+            result.domain_yields[domain.name] = hv.stats.yields_by_cause(domain)
+            result.domain_counters[domain.name] = domain.counters.as_dict()
+            result.lockstats[domain.name] = domain.kernel.lockstat.snapshot()
+            result.tlb_stats[domain.name] = domain.kernel.tlb.sync_latency.snapshot()
+        result.micro_cores = len(hv.micro_pool)
+        result.utilization = hv.utilization(duration_ns)
+        controller = getattr(hv.policy, "controller", None)
+        if controller is not None:
+            result.adaptive_decisions = list(controller.decisions)
+        return result
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    def workload(self, key):
+        """Find a workload result by exact key or unique suffix."""
+        if key in self.workloads:
+            return self.workloads[key]
+        matches = [w for k, w in self.workloads.items() if k.endswith(key)]
+        if len(matches) == 1:
+            return matches[0]
+        raise KeyError("workload %r not found (have: %s)" % (key, sorted(self.workloads)))
+
+    def rate(self, key):
+        return self.workload(key).rate
+
+    def total_yields(self, domain=None):
+        if domain is None:
+            return self.hv_counters.get("yield", 0)
+        return self.domain_counters.get(domain, {}).get("yield", 0)
+
+    def yields_by_cause(self, domain):
+        return self.domain_yields.get(domain, {})

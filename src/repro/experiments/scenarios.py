@@ -1,0 +1,217 @@
+"""Scenario construction.
+
+A :class:`Scenario` declares the consolidated host of one experiment:
+topology, VMs with their workloads and pinning, scheduler parameters,
+and the micro-slicing policy. ``build()`` wires everything into a
+runnable :class:`System`.
+
+The paper's standard configuration — one 12-pCPU socket hosting two
+12-vCPU VMs (2:1 overcommit), the target workload in VM-1 and
+``swaptions`` in VM-2 — is available through :func:`corun_scenario`;
+:func:`solo_scenario` drops the co-runner; :func:`mixed_io_scenario`
+reproduces the Figure 9 pinned single-vCPU setup.
+"""
+
+from dataclasses import dataclass, field
+
+from ..core.policy import PolicySpec
+from ..hw.costs import CostModel
+from ..hw.ple import PleConfig
+from ..hypervisor.hypervisor import Hypervisor
+from ..sim.rng import RngHub
+from ..sim.engine import Simulator
+from ..sim.trace import Tracer
+from ..workloads import registry
+from ..workloads.base import Workload
+from .results import RunResult
+
+
+@dataclass
+class WorkloadSpec:
+    """A workload by registry name plus overrides, or a prebuilt
+    instance."""
+
+    kind: str = ""
+    kwargs: dict = field(default_factory=dict)
+    instance: Workload = None
+
+    def build(self):
+        if self.instance is not None:
+            return self.instance
+        return registry.create(self.kind, **self.kwargs)
+
+
+@dataclass
+class VmSpec:
+    """One virtual machine."""
+
+    name: str
+    vcpus: int = 12
+    workloads: list = field(default_factory=list)  # of WorkloadSpec
+    weight: int = 256
+    pin_to: tuple = None  # pCPU indices, or None
+
+    def add(self, kind, **kwargs):
+        self.workloads.append(WorkloadSpec(kind=kind, kwargs=kwargs))
+        return self
+
+    def add_instance(self, workload):
+        self.workloads.append(WorkloadSpec(instance=workload))
+        return self
+
+
+@dataclass
+class Scenario:
+    """A full experiment configuration."""
+
+    name: str = "scenario"
+    num_pcpus: int = 12
+    vms: list = field(default_factory=list)
+    policy: PolicySpec = field(default_factory=PolicySpec.baseline)
+    seed: int = 42
+    normal_slice: int = None
+    micro_slice: int = None
+    costs: CostModel = None
+    ple: PleConfig = None
+    pv_spin_rounds: int = 1
+    trace: bool = False
+
+    def add_vm(self, name, vcpus=12, weight=256, pin_to=None):
+        spec = VmSpec(name=name, vcpus=vcpus, weight=weight, pin_to=pin_to)
+        self.vms.append(spec)
+        return spec
+
+    def build(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=self.trace)
+        hv = Hypervisor(
+            sim,
+            num_pcpus=self.num_pcpus,
+            costs=self.costs,
+            ple=self.ple,
+            normal_slice=self.normal_slice,
+            micro_slice=self.micro_slice,
+            pv_spin_rounds=self.pv_spin_rounds,
+            tracer=tracer,
+            seed=self.seed,
+        )
+        hub = RngHub(self.seed)
+        workloads = {}
+        for vm_spec in self.vms:
+            domain = hv.create_domain(vm_spec.name, vm_spec.vcpus, weight=vm_spec.weight)
+            if vm_spec.pin_to is not None:
+                domain.pin_all(vm_spec.pin_to)
+            for wl_spec in vm_spec.workloads:
+                workload = wl_spec.build()
+                workload.install(domain, hub)
+                workloads["%s:%s" % (domain.name, workload.name)] = workload
+        self.policy.install(hv)
+        return System(self, sim, hv, workloads, tracer)
+
+
+class System:
+    """A built scenario, ready to run."""
+
+    def __init__(self, scenario, sim, hv, workloads, tracer):
+        self.scenario = scenario
+        self.sim = sim
+        self.hv = hv
+        self.workloads = workloads
+        self.tracer = tracer
+        self._started = False
+
+    def run(self, duration_ns, warmup_ns=0):
+        """Run the simulation for ``warmup_ns`` (discarded), reset the
+        measurement state, then run ``duration_ns`` and collect."""
+        if not self._started:
+            self.hv.start()
+            self._started = True
+        if warmup_ns:
+            self.sim.run(until=self.sim.now + warmup_ns)
+            self.reset_measurements()
+        target = self.sim.now + duration_ns
+        self.sim.run(until=target)
+        return self.result(duration_ns)
+
+    def reset_measurements(self):
+        """Zero all measured state (workload progress, counters, latency
+        stats) without disturbing execution state."""
+        for workload in self.workloads.values():
+            workload.reset_progress()
+        self.hv.stats.counters.reset()
+        for domain in self.hv.domains:
+            domain.counters.reset()
+            domain.kernel.lockstat = type(domain.kernel.lockstat)()
+            tlb = domain.kernel.tlb
+            tlb.sync_latency = type(tlb.sync_latency)(name=tlb.sync_latency.name)
+        for pcpu in self.hv.pcpus:
+            pcpu.busy_ns = 0
+
+    def result(self, duration_ns):
+        return RunResult.collect(self, duration_ns)
+
+
+# ----------------------------------------------------------------------
+# canned configurations
+# ----------------------------------------------------------------------
+def solo_scenario(workload_kind, policy=None, vcpus=12, num_pcpus=12, seed=42, **wl_kwargs):
+    """One VM alone on the host (the paper's ``solo``)."""
+    scenario = Scenario(
+        name="solo:%s" % workload_kind,
+        num_pcpus=num_pcpus,
+        policy=policy or PolicySpec.baseline(),
+        seed=seed,
+    )
+    scenario.add_vm("vm1", vcpus=vcpus).add(workload_kind, **wl_kwargs)
+    return scenario
+
+
+def corun_scenario(
+    workload_kind,
+    policy=None,
+    corunner_kind="swaptions",
+    vcpus=12,
+    num_pcpus=12,
+    seed=42,
+    **wl_kwargs,
+):
+    """Two 12-vCPU VMs on 12 pCPUs: the target plus a co-runner
+    (the paper's ``co-run`` 2:1 overcommit)."""
+    scenario = Scenario(
+        name="corun:%s+%s" % (workload_kind, corunner_kind),
+        num_pcpus=num_pcpus,
+        policy=policy or PolicySpec.baseline(),
+        seed=seed,
+    )
+    scenario.add_vm("vm1", vcpus=vcpus).add(workload_kind, **wl_kwargs)
+    scenario.add_vm("vm2", vcpus=vcpus).add(corunner_kind)
+    return scenario
+
+
+def mixed_io_scenario(policy=None, mode="tcp", num_pcpus=12, seed=42, **iperf_kwargs):
+    """Figure 9: VM-1 runs iPerf + lookbusy on one vCPU, VM-2 runs
+    lookbusy on one vCPU, both pinned to the same pCPU."""
+    scenario = Scenario(
+        name="mixed_io:%s" % mode,
+        num_pcpus=num_pcpus,
+        policy=policy or PolicySpec.baseline(),
+        seed=seed,
+    )
+    vm1 = scenario.add_vm("vm1", vcpus=1, pin_to=(0,))
+    vm1.add("iperf", mode=mode, **iperf_kwargs)
+    vm1.add("lookbusy")
+    scenario.add_vm("vm2", vcpus=1, pin_to=(0,)).add("lookbusy")
+    return scenario
+
+
+def solo_io_scenario(policy=None, mode="tcp", num_pcpus=12, seed=42, **iperf_kwargs):
+    """Table 4c's solo bound: the iPerf VM alone (no hog sharing its
+    pCPU)."""
+    scenario = Scenario(
+        name="solo_io:%s" % mode,
+        num_pcpus=num_pcpus,
+        policy=policy or PolicySpec.baseline(),
+        seed=seed,
+    )
+    scenario.add_vm("vm1", vcpus=1, pin_to=(0,)).add("iperf", mode=mode, **iperf_kwargs)
+    return scenario

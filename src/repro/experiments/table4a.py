@@ -1,0 +1,68 @@
+"""Table 4a — spinlock waiting time (µs) in gmake, solo vs co-run.
+
+Paper values (lockstat, average wait in µs):
+
+==============  =====  =========
+component       solo   co-run
+==============  =====  =========
+Page reclaim    1.03   420.13
+Page allocator  3.42   1,053.26
+Dentry          2.93   1,298.87
+Runqueue        1.22   256.07
+==============  =====  =========
+
+The reproduction target: microsecond-scale waits solo, orders of
+magnitude higher under consolidation (lock-holder preemption).
+"""
+
+from ..metrics.report import render_table
+from . import common
+from .scenarios import corun_scenario, solo_scenario
+
+COMPONENTS = ("page_reclaim", "page_alloc", "dentry", "runqueue")
+
+PAPER = {
+    "page_reclaim": (1.03, 420.13),
+    "page_alloc": (3.42, 1053.26),
+    "dentry": (2.93, 1298.87),
+    "runqueue": (1.22, 256.07),
+}
+
+
+def run(seed=42, scale_override=None):
+    _w = common.warmup(scale_override)
+    solo_t = common.scaled(common.SOLO_DURATION, scale_override)
+    corun_t = common.scaled(common.CORUN_DURATION, scale_override)
+    solo = solo_scenario("gmake", seed=seed).build().run(solo_t, warmup_ns=_w)
+    corun = corun_scenario("gmake", seed=seed).build().run(corun_t, warmup_ns=_w)
+    results = {}
+    for component in COMPONENTS:
+        solo_stat = solo.lockstats["vm1"].get(component)
+        corun_stat = corun.lockstats["vm1"].get(component)
+        results[component] = {
+            "solo_us": (solo_stat["mean"] / 1000.0) if solo_stat else 0.0,
+            "corun_us": (corun_stat["mean"] / 1000.0) if corun_stat else 0.0,
+            "solo_count": solo_stat["count"] if solo_stat else 0,
+            "corun_count": corun_stat["count"] if corun_stat else 0,
+        }
+    return results
+
+
+def format_result(results):
+    rows = []
+    for component in COMPONENTS:
+        entry = results[component]
+        paper_solo, paper_corun = PAPER[component]
+        rows.append(
+            [
+                component,
+                "%.2f" % entry["solo_us"],
+                "%.2f" % entry["corun_us"],
+                "%.2f / %.2f" % (paper_solo, paper_corun),
+            ]
+        )
+    return render_table(
+        ["component", "solo wait (us)", "co-run wait (us)", "paper solo/co-run"],
+        rows,
+        title="Table 4a: gmake spinlock waiting time",
+    )

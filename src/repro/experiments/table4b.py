@@ -1,0 +1,73 @@
+"""Table 4b — TLB synchronisation latency (µs), solo vs co-run.
+
+Paper values:
+
+=====  =======  =====  ====  =======
+wl     config   avg    min   max
+=====  =======  =====  ====  =======
+dedup  solo     28     5     1,927
+dedup  co-run   6,354  7     74,915
+vips   solo     55     5     2,052
+vips   co-run   14,928 17    121,548
+=====  =======  =====  ====  =======
+
+Reproduction target: tens of µs solo, milliseconds under co-run.
+"""
+
+from ..metrics.report import render_table
+from . import common
+from .scenarios import corun_scenario, solo_scenario
+
+WORKLOADS = ("dedup", "vips")
+
+PAPER = {
+    "dedup": {"solo": (28, 5, 1927), "corun": (6354, 7, 74915)},
+    "vips": {"solo": (55, 5, 2052), "corun": (14928, 17, 121548)},
+}
+
+
+def _stat_us(stat):
+    return {
+        "avg": stat["mean"] / 1000.0,
+        "min": (stat["min"] or 0) / 1000.0,
+        "max": (stat["max"] or 0) / 1000.0,
+        "count": stat["count"],
+    }
+
+
+def run(seed=42, scale_override=None):
+    _w = common.warmup(scale_override)
+    solo_t = common.scaled(common.SOLO_DURATION, scale_override)
+    corun_t = common.scaled(common.CORUN_DURATION, scale_override)
+    results = {}
+    for kind in WORKLOADS:
+        solo = solo_scenario(kind, seed=seed).build().run(solo_t, warmup_ns=_w)
+        corun = corun_scenario(kind, seed=seed).build().run(corun_t, warmup_ns=_w)
+        results[kind] = {
+            "solo": _stat_us(solo.tlb_stats["vm1"]),
+            "corun": _stat_us(corun.tlb_stats["vm1"]),
+        }
+    return results
+
+
+def format_result(results):
+    rows = []
+    for kind in WORKLOADS:
+        for config in ("solo", "corun"):
+            entry = results[kind][config]
+            paper = PAPER[kind]["solo" if config == "solo" else "corun"]
+            rows.append(
+                [
+                    kind,
+                    config,
+                    "%.0f" % entry["avg"],
+                    "%.0f" % entry["min"],
+                    "%.0f" % entry["max"],
+                    "%d/%d/%d" % paper,
+                ]
+            )
+    return render_table(
+        ["workload", "config", "avg (us)", "min", "max", "paper avg/min/max"],
+        rows,
+        title="Table 4b: TLB synchronisation latency",
+    )

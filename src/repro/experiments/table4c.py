@@ -1,0 +1,54 @@
+"""Table 4c — iPerf latency (jitter) and throughput, solo vs mixed
+co-run.
+
+Paper values (TCP, 1 GbE):
+
+=============  ===========  ==================
+config         jitter (ms)  throughput (Mbps)
+=============  ===========  ==================
+solo           0.0043       936.3
+mixed co-run   9.2507       435.6
+=============  ===========  ==================
+
+Reproduction target: near-zero jitter and near-line-rate throughput
+solo; milliseconds of jitter and roughly-halved throughput when the
+iPerf vCPU shares its pCPU with CPU hogs (BOOST cannot fire for a
+runnable vCPU).
+"""
+
+from ..metrics.report import render_table
+from . import common
+from .scenarios import mixed_io_scenario, solo_io_scenario
+
+PAPER = {"solo": (0.0043, 936.3), "mixed": (9.2507, 435.6)}
+
+
+def run(seed=42, scale_override=None):
+    _w = common.warmup(scale_override)
+    duration = common.scaled(common.IO_DURATION, scale_override)
+    solo = solo_io_scenario(mode="tcp", seed=seed).build().run(duration, warmup_ns=_w)
+    mixed = mixed_io_scenario(mode="tcp", seed=seed).build().run(duration, warmup_ns=_w)
+    return {
+        "solo": solo.workload("iperf").extra,
+        "mixed": mixed.workload("iperf").extra,
+    }
+
+
+def format_result(results):
+    rows = []
+    for config in ("solo", "mixed"):
+        io = results[config]
+        paper_jitter, paper_bw = PAPER[config]
+        rows.append(
+            [
+                config,
+                "%.4f" % io["jitter_ms"],
+                "%.0f" % io["throughput_mbps"],
+                "%.4f / %.0f" % (paper_jitter, paper_bw),
+            ]
+        )
+    return render_table(
+        ["config", "jitter (ms)", "throughput (Mbps)", "paper jitter/bw"],
+        rows,
+        title="Table 4c: iPerf solo vs mixed co-run",
+    )

@@ -1,0 +1,81 @@
+"""Guest operating-system models (kernel services, tasks, net stack)."""
+
+from .actions import Acquire, Action, Compute, Emit, GYield, Release, Shootdown, Sleep, Wake
+from .ipi import KIND_CALL, KIND_RESCHED, KIND_TLB, IpiOp
+from .kernel import GuestKernel
+from .netstack import NetStack, Socket
+from .rwsem import READ, WRITE, RwSemaphore
+from .sched import GuestCpu
+from .spinlock import (
+    DENTRY,
+    FREELIST,
+    PAGE_ALLOC,
+    PAGE_RECLAIM,
+    PARKED,
+    RUNQUEUE,
+    SPINNING,
+    STANDARD_CLASSES,
+    WAITING,
+    LockClass,
+    SpinLock,
+)
+from .symbols import (
+    DEFAULT_KERNEL_SYMBOLS,
+    KERNEL_TEXT_BASE,
+    USER_IP,
+    Symbol,
+    SymbolTable,
+    build_table,
+    default_guest_table,
+)
+from .task import EXITED, RUNNABLE, SLEEPING, ExecContext, GuestTask
+from .tlb import TlbManager
+from .waitqueue import WaitQueue
+
+__all__ = [
+    "Acquire",
+    "Action",
+    "Compute",
+    "DEFAULT_KERNEL_SYMBOLS",
+    "DENTRY",
+    "EXITED",
+    "Emit",
+    "ExecContext",
+    "FREELIST",
+    "GYield",
+    "GuestCpu",
+    "GuestKernel",
+    "GuestTask",
+    "IpiOp",
+    "KERNEL_TEXT_BASE",
+    "KIND_CALL",
+    "KIND_RESCHED",
+    "KIND_TLB",
+    "LockClass",
+    "NetStack",
+    "PAGE_ALLOC",
+    "PAGE_RECLAIM",
+    "PARKED",
+    "RUNNABLE",
+    "RUNQUEUE",
+    "READ",
+    "Release",
+    "RwSemaphore",
+    "SLEEPING",
+    "SPINNING",
+    "STANDARD_CLASSES",
+    "Shootdown",
+    "Sleep",
+    "Socket",
+    "SpinLock",
+    "Symbol",
+    "SymbolTable",
+    "TlbManager",
+    "USER_IP",
+    "WAITING",
+    "Wake",
+    "WRITE",
+    "WaitQueue",
+    "build_table",
+    "default_guest_table",
+]

@@ -1,0 +1,70 @@
+"""Inter-processor interrupt bookkeeping.
+
+Two IPI shapes matter to the paper:
+
+* one-to-many ``smp_call_function_many`` (TLB shootdowns) — the
+  initiator spins until *every* recipient acknowledges;
+* one-to-one reschedule IPIs (``smp_send_reschedule`` via
+  ``kick_process``/ttwu) — the initiator may wait for the single ack.
+
+Both are modelled by :class:`IpiOp`: a pending-set plus completion flag.
+Recipients acknowledge by executing their IPI work item, which only
+happens while their vCPU is on a pCPU — exactly the dependency that
+creates the virtual-time-discontinuity stalls.
+"""
+
+#: IPI kinds (also used as hypervisor relay/classification labels).
+KIND_TLB = "tlb"
+KIND_RESCHED = "resched"
+KIND_CALL = "call"
+
+
+class IpiOp:
+    """One logical IPI transaction (possibly multi-target)."""
+
+    _next_id = 0
+
+    def __init__(self, kind, initiator, targets, started_at, on_complete=None):
+        IpiOp._next_id += 1
+        self.id = IpiOp._next_id
+        self.kind = kind
+        self.initiator = initiator
+        self.targets = tuple(targets)
+        self.pending = set(self.targets)
+        self.started_at = started_at
+        self.completed_at = None
+        self.on_complete = on_complete
+
+    @property
+    def complete(self):
+        return not self.pending
+
+    def ack(self, vcpu, now):
+        """Recipient ``vcpu`` acknowledges; fires completion when the
+        pending set drains. Idempotent per recipient."""
+        if vcpu not in self.pending:
+            return False
+        self.pending.discard(vcpu)
+        if not self.pending:
+            self.completed_at = now
+            if self.on_complete is not None:
+                self.on_complete(self)
+            # A running initiator is spinning on the ack counter; break
+            # it out of the spin immediately.
+            if self.initiator is not None:
+                self.initiator.notify(("ipi_complete", self))
+        return True
+
+    @property
+    def latency(self):
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    def __repr__(self):
+        return "<IpiOp#%d %s pending=%d/%d>" % (
+            self.id,
+            self.kind,
+            len(self.pending),
+            len(self.targets),
+        )

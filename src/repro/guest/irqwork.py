@@ -1,0 +1,54 @@
+"""Kernel work items executed in IRQ context.
+
+These generators are queued on a vCPU (``vcpu.post_kernel_work``) when
+an IPI or vIRQ is delivered to it; the executor runs them *before* any
+task context, modelling interrupt priority. Crucially they can only run
+while the vCPU holds a pCPU — a preempted vCPU's queued work is exactly
+the "delayed critical OS service" of the paper.
+"""
+
+from .actions import Compute, Emit, Wake
+
+
+def tlb_flush_work(kernel, vcpu, op):
+    """Handle a TLB-shootdown IPI: run the flush callback and ack."""
+    costs = kernel.costs
+    yield Compute(costs.ipi_handle, symbol="flush_tlb_func")
+    yield Compute(costs.tlb_flush_local, symbol="do_flush_tlb_all")
+    yield Emit(lambda now: op.ack(vcpu, now), symbol="irq_exit")
+
+
+def resched_ipi_work(kernel, vcpu, op, task):
+    """Handle a reschedule IPI: activate the woken task locally, ack."""
+    costs = kernel.costs
+
+    def _activate(now):
+        vcpu.guest_cpu.enqueue(task)
+        op.ack(vcpu, now)
+
+    yield Compute(costs.ipi_handle, symbol="scheduler_ipi")
+    yield Emit(_activate, symbol="sched_ttwu_pending")
+
+
+def call_function_work(kernel, vcpu, op):
+    """Handle a cross-CPU function call IPI: run the callback, ack."""
+    costs = kernel.costs
+    yield Compute(costs.ipi_handle, symbol="scheduler_ipi")
+    yield Emit(lambda now: op.ack(vcpu, now), symbol="irq_exit")
+
+
+def net_rx_work(kernel, vcpu, nic):
+    """Handle a NIC vIRQ: hard-IRQ entry, then the softirq drain of the
+    RX ring, delivery into sockets, and reader wakeups."""
+    net = kernel.net
+    costs = kernel.costs
+    yield Compute(net.irq_cost, symbol="handle_percpu_irq")
+    packets = nic.drain(net.napi_budget)
+    if not packets:
+        return
+    # softIRQ (net_rx_action): per-packet protocol processing.
+    yield Compute(net.per_packet_cost * len(packets), symbol="irq_exit")
+    touched = net.deliver(packets)
+    for socket in touched:
+        yield Compute(costs.guest_ctx_switch // 2, symbol="ttwu_do_wakeup")
+        yield Wake(socket.waitq, sync=net.sync_wake)

@@ -1,0 +1,162 @@
+"""The guest kernel facade.
+
+One :class:`GuestKernel` per VM ties together the symbol table, the
+lock registry, the TLB shootdown manager, the network stack, and the
+(hypervisor-provided) IPI relay. Task programs only ever talk to this
+facade and to the primitive actions.
+
+The kernel never calls into hypervisor *scheduling* logic directly —
+everything crosses through the small relay interface the hypervisor
+installs at attach time, mirroring the real hypercall/VMEXIT boundary.
+"""
+
+from ..errors import GuestError
+from ..metrics.lockstat import LockStat
+from ..sim.time import us
+from . import irqwork
+from .actions import Acquire, Compute, Release
+from .ipi import KIND_CALL, KIND_RESCHED, IpiOp
+from .netstack import NetStack
+from .rwsem import RwSemaphore
+from .spinlock import STANDARD_CLASSES, LockClass, SpinLock
+from .symbols import USER_IP, default_guest_table
+from .tlb import TlbManager
+
+
+class GuestKernel:
+    """Kernel-side state of one VM."""
+
+    def __init__(self, vm, costs, symbols=None):
+        self.vm = vm
+        self.costs = costs
+        self.symbols = symbols if symbols is not None else default_guest_table()
+        self.lockstat = LockStat()
+        self.tlb = TlbManager(self)
+        self.net = None
+        self.hv = None
+        #: Set by core.usercrit.enable_user_critical when the guest
+        #: exposes a per-process user critical-region table (§4.4).
+        self.user_critical = None
+        self._locks = {}
+        self._rwsems = {}
+        self._addr_cache = {}
+        for lock_class in STANDARD_CLASSES:
+            self.lock(lock_class)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_hypervisor(self, hv):
+        self.hv = hv
+
+    def attach_netstack(self, nic, **kwargs):
+        """Bind a NIC to this guest (creates the RX stack)."""
+        self.net = NetStack(self, nic, **kwargs)
+        return self.net
+
+    # ------------------------------------------------------------------
+    # symbols
+    # ------------------------------------------------------------------
+    def addr_for(self, symbol_name):
+        """Instruction-pointer address for a kernel symbol (``None`` →
+        a plain user-space address; ``user:<region>`` → the registered
+        user critical region, §4.4)."""
+        if symbol_name is None:
+            return USER_IP
+        addr = self._addr_cache.get(symbol_name)
+        if addr is None:
+            if symbol_name.startswith("user:"):
+                if self.user_critical is None:
+                    return USER_IP
+                addr = self.user_critical.addr_of(symbol_name[5:]) + 8
+            else:
+                addr = self.symbols.addr_of(symbol_name) + 0x10
+            self._addr_cache[symbol_name] = addr
+        return addr
+
+    # ------------------------------------------------------------------
+    # locks
+    # ------------------------------------------------------------------
+    def lock(self, lock_class, instance=""):
+        """Get (or create) the spinlock for ``lock_class``.
+
+        ``lock_class`` may be a :class:`LockClass` or the name of an
+        already-created lock. ``instance`` disambiguates multiple locks
+        of the same class.
+        """
+        if isinstance(lock_class, LockClass):
+            key = lock_class.name + (":" + instance if instance else "")
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = SpinLock(key, lock_class, kernel=self)
+                self._locks[key] = lock
+            return lock
+        try:
+            return self._locks[lock_class]
+        except KeyError:
+            raise GuestError("unknown lock %r" % lock_class) from None
+
+    def all_locks(self):
+        return list(self._locks.values())
+
+    def rwsem(self, name):
+        """Get (or create) the reader-writer semaphore called ``name``
+        (e.g. ``mmap_sem``)."""
+        sem = self._rwsems.get(name)
+        if sem is None:
+            sem = RwSemaphore(name, kernel=self)
+            self._rwsems[name] = sem
+        return sem
+
+    def all_rwsems(self):
+        return list(self._rwsems.values())
+
+    def lock_section(self, lock, hold_ns):
+        """Composite: acquire ``lock``, run its critical section for
+        ``hold_ns``, release. The critical-section compute carries the
+        lock class's Table-3 symbol so detection can spot a preempted
+        holder."""
+        yield Acquire(lock)
+        yield Compute(hold_ns, symbol=lock.cs_symbol)
+        yield Release(lock)
+
+    # ------------------------------------------------------------------
+    # IPI / hypervisor relay
+    # ------------------------------------------------------------------
+    def deliver_ipi(self, src_vcpu, dst_vcpu, op):
+        """Send one TLB-shootdown IPI message (called by TlbManager)."""
+        work = irqwork.tlb_flush_work(self, dst_vcpu, op)
+        self.hv.relay_vipi(src_vcpu, dst_vcpu, op, work, name="tlb_flush")
+
+    def send_resched_ipi(self, src_vcpu, task, now):
+        """Cross-vCPU wakeup: reschedule-IPI the task's home vCPU.
+
+        Returns the :class:`IpiOp` the initiator may spin on.
+        """
+        target = task.vcpu
+        op = IpiOp(KIND_RESCHED, src_vcpu, [target], now)
+        work = irqwork.resched_ipi_work(self, target, op, task)
+        self.hv.relay_vipi(src_vcpu, target, op, work, name="resched")
+        return op
+
+    def send_call_function(self, src_vcpu, dst_vcpu, now):
+        """Synchronous cross-CPU call (``smp_call_function_single``)."""
+        op = IpiOp(KIND_CALL, src_vcpu, [dst_vcpu], now)
+        work = irqwork.call_function_work(self, dst_vcpu, op)
+        self.hv.relay_vipi(src_vcpu, dst_vcpu, op, work, name="call_single")
+        return op
+
+    def pv_kick(self, vcpu):
+        """pv-qspinlock kick: wake a parked lock waiter through the
+        hypervisor (wakes with BOOST, like a real event-channel kick)."""
+        self.hv.kick_vcpu(vcpu)
+
+    # ------------------------------------------------------------------
+    # misc composite helpers
+    # ------------------------------------------------------------------
+    def syscall_overhead(self, cost_ns=None):
+        """A trivial in-kernel stint (non-critical symbol)."""
+        yield Compute(us(0.5) if cost_ns is None else cost_ns, symbol="do_syscall_64")
+
+    def record_lock_wait(self, lock, wait_ns):
+        self.lockstat.record_wait(lock.lock_class.name, wait_ns)

@@ -1,0 +1,63 @@
+"""Memory-management composite operations.
+
+``mmap``/``munmap`` are the system calls dedup/vips/memclone hammer
+(shared address-space management, per Clements et al. [8] as cited by
+the paper). Each is a short critical section under an mm lock;
+``munmap`` additionally requires a TLB shootdown across all active
+sibling vCPUs. These helpers are ``yield from``-able inside task
+programs.
+"""
+
+from ..sim.time import us
+from .actions import Compute, Shootdown
+from .rwsem import READ, WRITE
+from .spinlock import PAGE_ALLOC, PAGE_RECLAIM
+
+
+def mmap(kernel, hold_ns=None, setup_ns=None):
+    """Allocate/map memory: page-allocator lock critical section."""
+    lock = kernel.lock(PAGE_ALLOC)
+    hold = us(3) if hold_ns is None else hold_ns
+    setup = us(1) if setup_ns is None else setup_ns
+    yield Compute(setup, symbol="do_mmap")
+    yield from kernel.lock_section(lock, hold)
+
+
+def munmap(kernel, hold_ns=None, flush=True):
+    """Unmap memory: page-reclaim critical section + TLB shootdown."""
+    lock = kernel.lock(PAGE_RECLAIM)
+    hold = us(2) if hold_ns is None else hold_ns
+    yield Compute(us(1), symbol="do_munmap")
+    yield from kernel.lock_section(lock, hold)
+    if flush:
+        yield Compute(us(1), symbol="native_flush_tlb_others")
+        yield Shootdown()
+
+
+def mmap_locked(kernel, task, hold_ns=None, setup_ns=None):
+    """``mmap`` under ``mmap_sem`` held for write — the real syscall's
+    locking (address-space layout changes exclude page faults)."""
+    sem = kernel.rwsem("mmap_sem")
+    yield from sem.acquire(task, WRITE)
+    yield from mmap(kernel, hold_ns=hold_ns, setup_ns=setup_ns)
+    yield from sem.release(task)
+
+
+def munmap_locked(kernel, task, hold_ns=None, flush=True):
+    """``munmap`` under ``mmap_sem`` for write, with the TLB shootdown
+    issued while still holding it (as ``unmap_region`` does)."""
+    sem = kernel.rwsem("mmap_sem")
+    yield from sem.acquire(task, WRITE)
+    yield from munmap(kernel, hold_ns=hold_ns, flush=flush)
+    yield from sem.release(task)
+
+
+def page_fault(kernel, task, service_ns=None):
+    """A minor page fault: ``mmap_sem`` for read plus a page-allocator
+    critical section."""
+    sem = kernel.rwsem("mmap_sem")
+    yield Compute(us(0.5), symbol="page_fault")
+    yield from sem.acquire(task, READ)
+    lock = kernel.lock(PAGE_ALLOC)
+    yield from kernel.lock_section(lock, us(1.5) if service_ns is None else service_ns)
+    yield from sem.release(task)

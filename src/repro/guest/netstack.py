@@ -1,0 +1,86 @@
+"""Guest network receive stack.
+
+Models the path the paper's §3.2 describes: NIC pIRQ → hypervisor →
+vIRQ to a designated vCPU → guest hard-IRQ handler → softIRQ protocol
+processing → socket delivery → ``ttwu`` wakeup of the waiting
+application (possibly via a reschedule IPI to another vCPU).
+"""
+
+from collections import deque
+
+from ..errors import GuestError
+from ..sim.time import us
+from .waitqueue import WaitQueue
+
+
+class Socket:
+    """A receive socket: buffered packets plus a reader wait queue."""
+
+    def __init__(self, flow):
+        self.flow = flow
+        self.buffer = deque()
+        self.waitq = WaitQueue(name="sock:%s" % flow)
+        self.received_bytes = 0
+
+    def deliver(self, packet):
+        self.buffer.append(packet)
+        self.received_bytes += packet.size
+
+    def take(self, limit=None):
+        """Pop up to ``limit`` buffered packets (all if ``None``)."""
+        out = []
+        while self.buffer and (limit is None or len(out) < limit):
+            out.append(self.buffer.popleft())
+        return out
+
+    @property
+    def pending(self):
+        return len(self.buffer)
+
+
+class NetStack:
+    """Per-VM RX stack state and configuration."""
+
+    def __init__(
+        self,
+        kernel,
+        nic,
+        irq_vcpu_index=0,
+        irq_cost=None,
+        per_packet_cost=None,
+        napi_budget=None,
+        sync_wake=False,
+    ):
+        self.kernel = kernel
+        self.nic = nic
+        self.irq_vcpu_index = irq_vcpu_index
+        self.irq_cost = us(3) if irq_cost is None else irq_cost
+        self.per_packet_cost = us(1.5) if per_packet_cost is None else per_packet_cost
+        self.napi_budget = napi_budget
+        self.sync_wake = sync_wake
+        self._sockets = {}
+
+    def socket(self, flow):
+        """Get or create the socket bound to ``flow``."""
+        sock = self._sockets.get(flow)
+        if sock is None:
+            sock = Socket(flow)
+            self._sockets[flow] = sock
+        return sock
+
+    @property
+    def irq_vcpu(self):
+        return self.kernel.vm.vcpus[self.irq_vcpu_index]
+
+    def deliver(self, packets):
+        """Route drained packets into their sockets; returns the set of
+        sockets that received data (their readers need waking)."""
+        touched = []
+        for packet in packets:
+            sock = self._sockets.get(packet.flow)
+            if sock is None:
+                raise GuestError("packet for unbound flow %r" % packet.flow)
+            sock.deliver(packet)
+            if sock not in touched:
+                touched.append(sock)
+        return touched

@@ -1,0 +1,160 @@
+"""Reader-writer semaphore model (``rwsem``).
+
+Table 3 lists the rwsem wake paths (``rwsem_wake``,
+``__rwsem_do_wake``) among the critical services: a preempted vCPU
+inside the wake path delays every queued reader/writer. The model is a
+classic fair rwsem:
+
+* any number of readers hold concurrently;
+* a writer excludes everyone;
+* waiters queue FIFO to prevent writer starvation — a queued writer
+  blocks later readers;
+* releases that empty the holder set wake the next batch (one writer,
+  or the whole run of queued readers) through the guest scheduler —
+  cross-vCPU wakes ride reschedule IPIs like any ``ttwu``.
+
+Downgrades (the mmap_sem pattern: take for write, downgrade to read)
+are supported because gmake-style address-space setup uses them.
+"""
+
+from collections import deque
+
+from ..errors import GuestError
+from .actions import Compute, Sleep, Wake
+from .waitqueue import WaitQueue
+
+READ = "read"
+WRITE = "write"
+
+
+class RwSemaphore:
+    """A fair reader-writer semaphore for guest tasks."""
+
+    def __init__(self, name, kernel=None):
+        self.name = name
+        self.kernel = kernel
+        self.readers = set()
+        self.writer = None
+        self._waiters = deque()      # (task, mode, waitq)
+        self.acquisitions = {READ: 0, WRITE: 0}
+        self.contended = 0
+        self.downgrades = 0
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def held(self):
+        return self.writer is not None or bool(self.readers)
+
+    def held_by(self, task):
+        return task is self.writer or task in self.readers
+
+    def waiter_count(self):
+        return len(self._waiters)
+
+    def _can_grant(self, mode):
+        if self._waiters:
+            return False  # FIFO fairness: queue behind existing waiters
+        if mode == READ:
+            return self.writer is None
+        return self.writer is None and not self.readers
+
+    def _grant(self, task, mode):
+        if mode == READ:
+            self.readers.add(task)
+        else:
+            self.writer = task
+        self.acquisitions[mode] += 1
+
+    # ------------------------------------------------------------------
+    # task program helpers (yield from these)
+    # ------------------------------------------------------------------
+    def acquire(self, task, mode):
+        """Acquire in ``mode``; sleeps (rwsem waiters block, they do not
+        spin) until a release hands the semaphore over."""
+        if self.held_by(task):
+            raise GuestError("task %s re-acquiring rwsem %s" % (task.name, self.name))
+        if self._can_grant(mode):
+            self._grant(task, mode)
+            return
+        self.contended += 1
+        waitq = WaitQueue(name="%s.%s.%s" % (self.name, task.name, mode))
+        self._waiters.append((task, mode, waitq))
+        yield Sleep(waitq)
+
+    def release(self, task):
+        """Release and wake the next batch (the Table-3 critical wake
+        path: IP sits in ``rwsem_wake`` while handing over)."""
+        if task is self.writer:
+            self.writer = None
+        elif task in self.readers:
+            self.readers.discard(task)
+        else:
+            raise GuestError(
+                "task %s releasing rwsem %s it does not hold" % (task.name, self.name)
+            )
+        if self.held or not self._waiters:
+            return
+        yield Compute(500, symbol="rwsem_wake")
+        for waitq in self._wake_batch():
+            yield Compute(300, symbol="__rwsem_do_wake")
+            yield Wake(waitq)
+
+    def _wake_batch(self):
+        """Grant to the head writer, or to the whole leading run of
+        readers; returns their wait queues."""
+        queues = []
+        if not self._waiters:
+            return queues
+        head_task, head_mode, head_queue = self._waiters[0]
+        if head_mode == WRITE:
+            self._waiters.popleft()
+            self._grant(head_task, WRITE)
+            return [head_queue]
+        while self._waiters and self._waiters[0][1] == READ:
+            task, _mode, waitq = self._waiters.popleft()
+            self._grant(task, READ)
+            queues.append(waitq)
+        return queues
+
+    def downgrade(self, task):
+        """Writer → reader without releasing (mmap_sem idiom); wakes the
+        leading run of queued readers."""
+        if task is not self.writer:
+            raise GuestError("task %s downgrading rwsem %s it does not write-hold"
+                             % (task.name, self.name))
+        self.writer = None
+        self.readers.add(task)
+        self.downgrades += 1
+        if self._waiters and self._waiters[0][1] == READ:
+            yield Compute(300, symbol="__rwsem_do_wake")
+            for waitq in self._wake_batch():
+                yield Wake(waitq)
+
+    # ------------------------------------------------------------------
+    def read_section(self, task, body_ns, body_symbol=None):
+        """Composite: acquire-read, run body, release."""
+        yield from self.acquire(task, READ)
+        yield Compute(body_ns, symbol=body_symbol)
+        yield from self.release(task)
+
+    def write_section(self, task, body_ns, body_symbol="do_mmap"):
+        """Composite: acquire-write, run body, release."""
+        yield from self.acquire(task, WRITE)
+        yield Compute(body_ns, symbol=body_symbol)
+        yield from self.release(task)
+
+    def abandon(self, task):
+        """Drop a queued waiter (task teardown)."""
+        self._waiters = deque(
+            (t, m, q) for (t, m, q) in self._waiters if t is not task
+        )
+
+    def __repr__(self):
+        return "<RwSemaphore %s writer=%s readers=%d waiters=%d>" % (
+            self.name,
+            self.writer.name if self.writer else None,
+            len(self.readers),
+            len(self._waiters),
+        )

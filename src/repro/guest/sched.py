@@ -1,0 +1,109 @@
+"""Per-vCPU guest task scheduler.
+
+A miniature CFS-flavoured scheduler: round-robin among runnable tasks
+with a guest time slice, plus wakeup preemption (a freshly woken task —
+e.g. iPerf's server when data arrives — preempts a CPU-bound task at the
+next action boundary, which is microseconds away). This layer is what
+lets a single vCPU host *mixed* behaviour, the case Xen's BOOST cannot
+help and the paper's Figure 9 targets.
+"""
+
+from collections import deque
+
+from ..errors import GuestError
+from ..sim.time import ms
+from . import task as task_mod
+
+#: Default guest scheduling granularity (Linux-ish).
+DEFAULT_TIMESLICE = ms(6)
+
+
+class GuestCpu:
+    """Task scheduling state for one vCPU."""
+
+    def __init__(self, vcpu, timeslice=DEFAULT_TIMESLICE):
+        self.vcpu = vcpu
+        self.timeslice = timeslice
+        self.current = None
+        self.runnable = deque()
+        self.tasks = []
+        self.need_resched = False
+        self.switches = 0
+
+    def add_task(self, task):
+        """Register a task created on this vCPU (initially runnable)."""
+        if task.vcpu is not self.vcpu:
+            raise GuestError("task %s belongs to %s, not %s" % (task.name, task.vcpu, self.vcpu))
+        self.tasks.append(task)
+        self.runnable.append(task)
+
+    @property
+    def has_runnable(self):
+        return self.current is not None or bool(self.runnable)
+
+    def pick(self):
+        """The task that should run now, or ``None`` (vCPU goes idle).
+
+        Applies wakeup preemption (``need_resched``) and round-robin
+        rotation when the current task exhausted its guest slice. Returns
+        a ``(task, switched)`` pair so the executor can charge the guest
+        context-switch cost.
+        """
+        switched = False
+        current = self.current
+        if current is not None and current.state != task_mod.RUNNABLE:
+            current = None
+        rotate = False
+        if current is not None and self.runnable:
+            if self.need_resched or current.ran_ns >= self.timeslice:
+                rotate = True
+        if current is None or rotate:
+            if rotate:
+                current.ran_ns = 0
+                self.runnable.append(current)
+            nxt = self.runnable.popleft() if self.runnable else None
+            if nxt is not current and nxt is not None:
+                switched = True
+                self.switches += 1
+            current = nxt
+            if current is not None:
+                current.ran_ns = 0
+        self.need_resched = False
+        self.current = current
+        return current, switched
+
+    def enqueue(self, task, preempt=True):
+        """Make ``task`` runnable on this vCPU (wakeup path)."""
+        if task.state == task_mod.RUNNABLE and (task is self.current or task in self.runnable):
+            return
+        task.state = task_mod.RUNNABLE
+        task.sleeping_on = None
+        if task is not self.current and task not in self.runnable:
+            self.runnable.append(task)
+        if preempt and self.current is not None and task is not self.current:
+            self.need_resched = True
+
+    def sleep(self, task, waitq):
+        """Block ``task`` on ``waitq`` (unless a wakeup is banked)."""
+        if waitq.try_consume():
+            return False
+        task.state = task_mod.SLEEPING
+        task.sleeping_on = waitq
+        waitq.add_sleeper(task)
+        if task is self.current:
+            self.current = None
+        else:
+            try:
+                self.runnable.remove(task)
+            except ValueError:
+                pass
+        return True
+
+    def yield_current(self):
+        """Cooperative yield: rotate the current task to the queue
+        tail."""
+        if self.current is not None and self.runnable:
+            self.current.ran_ns = 0
+            self.runnable.append(self.current)
+            self.current = None
+            self.need_resched = False

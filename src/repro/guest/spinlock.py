@@ -1,0 +1,206 @@
+"""Guest kernel spinlocks.
+
+The model follows the paravirtualised qspinlock that Linux >= 4.2 uses
+in VMs (the paper's guests run Linux 4.4 with
+``CONFIG_PARAVIRT_SPINLOCKS=y``):
+
+* waiters queue FIFO and spin;
+* a waiter whose spin exceeds the PLE window is descheduled (PLE exit,
+  handled by the executor); after a few fruitless spin rounds it parks
+  (``pv_wait`` — the vCPU halts);
+* release hands the lock to the first waiter that is *actively spinning*
+  (fast path), else to the queue head, kicking it if parked
+  (``pv_kick`` → the hypervisor wakes and boosts it).
+
+This keeps lock-waiter preemption mild — as the paper notes qspinlock
+already does — while leaving **lock-holder preemption** fully exposed:
+when the holder's vCPU is descheduled mid-critical-section, no amount of
+queue discipline helps until the holder runs again. That is the
+pathology the micro-sliced pool attacks.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import GuestError
+
+#: Waiter states (executor-maintained).
+SPINNING = "spinning"
+WAITING = "waiting"   # descheduled after a PLE exit, still queued
+PARKED = "parked"     # pv_wait: vCPU halted until kicked
+FUTEX = "futex"       # user-level mutex: the *task* sleeps, vCPU stays free
+
+
+@dataclass(frozen=True)
+class LockClass:
+    """A lock class: its lockstat label plus the symbols a vCPU's IP
+    sits in while inside the critical section and on the unlock path
+    (drawn from Table 3 for kernel locks; ``user:<region>`` names for
+    §4.4 user-level mutexes). ``user_level`` locks block the *task*
+    (futex) on contention instead of parking the vCPU; ``spin_symbol``
+    is where the adaptive-spin phase's IP sits."""
+
+    name: str
+    cs_symbol: str
+    unlock_symbol: str
+    user_level: bool = False
+    spin_symbol: str = "native_queued_spin_lock_slowpath"
+
+
+#: The lock classes Table 4a reports for gmake, plus mmap_sem's spinlock
+#: used by the mm workloads.
+PAGE_ALLOC = LockClass("page_alloc", "get_page_from_freelist", "__raw_spin_unlock")
+PAGE_RECLAIM = LockClass("page_reclaim", "release_pages", "_raw_spin_unlock_irqrestore")
+DENTRY = LockClass("dentry", "__raw_spin_unlock", "__raw_spin_unlock")
+RUNQUEUE = LockClass("runqueue", "_raw_spin_unlock_irqrestore", "_raw_spin_unlock_irqrestore")
+FREELIST = LockClass("free_one_page", "free_one_page", "__raw_spin_unlock_irq")
+
+STANDARD_CLASSES = (PAGE_ALLOC, PAGE_RECLAIM, DENTRY, RUNQUEUE, FREELIST)
+
+
+class _Waiter:
+    __slots__ = ("vcpu", "state", "granted", "task", "waitq")
+
+    def __init__(self, vcpu):
+        self.vcpu = vcpu
+        self.state = SPINNING
+        self.granted = False
+        #: Set for FUTEX waiters (user-level mutexes).
+        self.task = None
+        self.waitq = None
+
+
+class SpinLock:
+    """One spinlock instance of some :class:`LockClass`."""
+
+    def __init__(self, name, lock_class, kernel=None):
+        self.name = name
+        self.lock_class = lock_class
+        self.kernel = kernel
+        self.holder = None
+        self._waiters = OrderedDict()  # vcpu -> _Waiter, FIFO
+        self.acquisitions = 0
+        self.contended = 0
+        self.handoffs = 0
+
+    @property
+    def cs_symbol(self):
+        return self.lock_class.cs_symbol
+
+    @property
+    def unlock_symbol(self):
+        return self.lock_class.unlock_symbol
+
+    @property
+    def spin_symbol(self):
+        return self.lock_class.spin_symbol
+
+    @property
+    def user_level(self):
+        return self.lock_class.user_level
+
+    @property
+    def held(self):
+        return self.holder is not None
+
+    def owned_by(self, vcpu):
+        return self.holder is vcpu
+
+    def waiter_count(self):
+        return len(self._waiters)
+
+    def try_acquire(self, vcpu):
+        """Uncontended fast path: take the lock iff free with no queue."""
+        if self.holder is None and not self._waiters:
+            self.holder = vcpu
+            self.acquisitions += 1
+            return True
+        return False
+
+    def add_waiter(self, vcpu):
+        """Queue ``vcpu``; idempotent (re-entered after preemption)."""
+        waiter = self._waiters.get(vcpu)
+        if waiter is None:
+            waiter = _Waiter(vcpu)
+            self._waiters[vcpu] = waiter
+            self.contended += 1
+        return waiter
+
+    def waiter(self, vcpu):
+        return self._waiters.get(vcpu)
+
+    def granted_to(self, vcpu):
+        """Did a release hand the lock to ``vcpu`` while it was away?"""
+        waiter = self._waiters.get(vcpu)
+        return waiter is not None and waiter.granted
+
+    def finish_grant(self, vcpu):
+        """Called by the executor when the grantee observes the grant."""
+        waiter = self._waiters.pop(vcpu, None)
+        if waiter is None or not waiter.granted:
+            raise GuestError("vCPU %r finishing a grant it never got on %s" % (vcpu, self.name))
+        self.acquisitions += 1
+
+    def abandon(self, vcpu):
+        """Remove ``vcpu`` from the queue without acquiring (task torn
+        down mid-wait)."""
+        self._waiters.pop(vcpu, None)
+
+    def release(self, vcpu):
+        """Release and hand off.
+
+        Returns the grantee vCPU (or ``None`` when uncontended). Running
+        spinners are notified through ``vcpu.notify`` (the executor
+        completes their acquire immediately); a parked grantee gets a
+        pv-kick through the guest kernel's hypervisor interface.
+        """
+        if self.holder is not vcpu:
+            raise GuestError(
+                "vCPU %r releasing %s held by %r" % (vcpu, self.name, self.holder)
+            )
+        self.holder = None
+        grantee = self._pick_grantee()
+        if grantee is None:
+            return None
+        waiter = self._waiters[grantee]
+        waiter.granted = True
+        self.holder = grantee
+        self.handoffs += 1
+        if waiter.state == SPINNING:
+            grantee.notify(("lock_granted", self))
+        elif waiter.state == FUTEX:
+            # User-level mutex: the unlocking *task* issues the futex
+            # wake; the executor of the releaser handles it (it may need
+            # a cross-vCPU reschedule IPI).
+            pass
+        elif self.kernel is not None:
+            # Parked (pv_wait) or preempted mid-slowpath: kick through
+            # the hypervisor. The kick is a no-op for a runnable grantee
+            # (as in real Xen), but those windows are microseconds long
+            # because waiters park on their first fruitless spin window.
+            self.kernel.pv_kick(grantee)
+        return grantee
+
+    def _pick_grantee(self):
+        """Grant preference: an actively SPINNING waiter (takes over in
+        nanoseconds), else a PARKED one (pv_kick wakes it with BOOST),
+        else the queue head. Preferring kickable waiters over
+        preempted-mid-spin ones models pv-qspinlock's lock stealing and
+        prevents handoff convoys through unkickable runnable vCPUs."""
+        first = None
+        kickable = None
+        for vcpu, waiter in self._waiters.items():
+            if first is None:
+                first = vcpu
+            if waiter.state == SPINNING:
+                return vcpu
+            if kickable is None and waiter.state in (PARKED, FUTEX):
+                kickable = vcpu
+        return kickable if kickable is not None else first
+
+    def __repr__(self):
+        return "<SpinLock %s holder=%r waiters=%d>" % (
+            self.name,
+            self.holder,
+            len(self._waiters),
+        )

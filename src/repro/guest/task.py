@@ -1,0 +1,77 @@
+"""Guest tasks and execution contexts.
+
+A :class:`GuestTask` is a thread/process inside a VM: a generator of
+primitive actions pinned to a home vCPU. An :class:`ExecContext` wraps
+any action generator (task programs, but also IRQ/softirq work) and
+remembers the in-flight action so execution survives preemption.
+"""
+
+from ..errors import WorkloadError
+from .actions import Action
+
+#: Task states.
+RUNNABLE = "runnable"
+SLEEPING = "sleeping"
+EXITED = "exited"
+
+
+class ExecContext:
+    """An action generator plus its current (possibly unfinished)
+    action."""
+
+    __slots__ = ("gen", "name", "current", "exhausted")
+
+    def __init__(self, gen, name=""):
+        self.gen = gen
+        self.name = name
+        self.current = None
+        self.exhausted = False
+
+    def peek(self):
+        """The action to execute next, advancing the generator when the
+        previous action finished. ``None`` once the generator is done."""
+        if self.exhausted:
+            return None
+        if self.current is not None and not self.current.done:
+            return self.current
+        try:
+            action = next(self.gen)
+        except StopIteration:
+            self.current = None
+            self.exhausted = True
+            return None
+        if not isinstance(action, Action):
+            raise WorkloadError(
+                "context %r yielded %r; programs must yield Action objects" % (self.name, action)
+            )
+        self.current = action
+        return action
+
+
+class GuestTask:
+    """One guest thread, pinned to a home vCPU."""
+
+    def __init__(self, name, vcpu, program):
+        """``program`` is a zero-argument callable returning the action
+        generator (so a task can be described before its VM is built)."""
+        self.name = name
+        self.vcpu = vcpu
+        self.state = RUNNABLE
+        self.context = ExecContext(program(), name=name)
+        self.sleeping_on = None
+        #: ns of vCPU time consumed since the guest scheduler last
+        #: rotated this task (round-robin accounting).
+        self.ran_ns = 0
+        #: Total vCPU time this task has consumed.
+        self.total_ns = 0
+
+    @property
+    def runnable(self):
+        return self.state == RUNNABLE
+
+    def charge(self, ns):
+        self.ran_ns += ns
+        self.total_ns += ns
+
+    def __repr__(self):
+        return "<GuestTask %s %s on %s>" % (self.name, self.state, self.vcpu)

@@ -1,0 +1,64 @@
+"""Guest-level wait queues.
+
+A :class:`WaitQueue` is the blocking primitive tasks sleep on. Wakeups
+are *banked*: waking an empty queue stores a token that the next sleeper
+consumes without blocking, which closes the classic lost-wakeup race
+between "producer delivered work" and "consumer about to sleep".
+"""
+
+from collections import deque
+
+
+class WaitQueue:
+    """FIFO wait queue with banked wakeups."""
+
+    def __init__(self, name=""):
+        self.name = name
+        self._sleepers = deque()
+        self._tokens = 0
+
+    def try_consume(self):
+        """Consume a banked wakeup if present (called instead of
+        sleeping)."""
+        if self._tokens > 0:
+            self._tokens -= 1
+            return True
+        return False
+
+    def add_sleeper(self, task):
+        self._sleepers.append(task)
+
+    def discard_sleeper(self, task):
+        try:
+            self._sleepers.remove(task)
+        except ValueError:
+            pass
+
+    def pop_sleeper(self):
+        """Take the longest-waiting sleeper, banking a token when there
+        is none. Returns the task or ``None``."""
+        if self._sleepers:
+            return self._sleepers.popleft()
+        self._tokens += 1
+        return None
+
+    def wake_all(self):
+        """Drain all sleepers (used for barriers); banks nothing."""
+        sleepers = list(self._sleepers)
+        self._sleepers.clear()
+        return sleepers
+
+    @property
+    def waiting(self):
+        return len(self._sleepers)
+
+    @property
+    def banked(self):
+        return self._tokens
+
+    def __repr__(self):
+        return "<WaitQueue %s waiting=%d banked=%d>" % (
+            self.name,
+            len(self._sleepers),
+            self._tokens,
+        )

@@ -1,0 +1,18 @@
+"""Hardware models: topology, timing costs, cache warmth, PLE, NIC."""
+
+from .cache import CacheState
+from .costs import CacheModel, CostModel
+from .nic import Nic, Packet
+from .ple import PleConfig
+from .topology import PCpuInfo, Topology
+
+__all__ = [
+    "CacheModel",
+    "CacheState",
+    "CostModel",
+    "Nic",
+    "PCpuInfo",
+    "Packet",
+    "PleConfig",
+    "Topology",
+]

@@ -1,0 +1,52 @@
+"""Hardware/hypervisor timing constants used by the execution models.
+
+All values are integer nanoseconds. The defaults are in the range
+reported for Nehalem/Westmere-class hardware (the paper's Xeon E5645)
+and Xen 4.x software paths; every experiment can override them through
+its :class:`~repro.experiments.scenarios.Scenario`.
+"""
+
+from dataclasses import dataclass, field
+
+from ..sim.time import ms, us
+
+
+@dataclass
+class CacheModel:
+    """Parameters of the cache-warmth model (see :mod:`repro.hw.cache`).
+
+    ``max_penalty`` is the fraction of user-level IPC lost when running
+    fully cold; warmth rises towards 1 with time constant ``warmup_tc``
+    while on-CPU and decays with ``decay_tc`` while off-CPU (other vCPUs
+    evict the working set).
+    """
+
+    max_penalty: float = 0.30
+    warmup_tc: int = field(default_factory=lambda: ms(1))
+    decay_tc: int = field(default_factory=lambda: ms(10))
+    #: Fraction of warmth lost when another vCPU ran on the pCPU in
+    #: between (working-set eviction).
+    pollution: float = 0.5
+
+
+@dataclass
+class CostModel:
+    """Fixed costs charged by the executors."""
+
+    #: Hypervisor world switch when a pCPU changes vCPU.
+    ctx_switch: int = field(default_factory=lambda: us(3))
+    #: VMEXIT/VMENTER round trip (PLE exits, yield hypercalls).
+    vmexit: int = field(default_factory=lambda: us(1))
+    #: Wire latency of an IPI between cores.
+    ipi_deliver: int = field(default_factory=lambda: us(1))
+    #: CPU time consumed by an IPI handler at the target.
+    ipi_handle: int = field(default_factory=lambda: us(2))
+    #: Local TLB flush executed by a shootdown recipient.
+    tlb_flush_local: int = field(default_factory=lambda: us(3))
+    #: Hypervisor virtual-IRQ injection path.
+    irq_inject: int = field(default_factory=lambda: us(1))
+    #: Waking a halted vCPU (hypervisor wakeup path).
+    halt_wake: int = field(default_factory=lambda: us(2))
+    #: Guest-level task context switch.
+    guest_ctx_switch: int = field(default_factory=lambda: us(2))
+    cache: CacheModel = field(default_factory=CacheModel)

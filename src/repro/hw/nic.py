@@ -1,0 +1,83 @@
+"""Network interface card model.
+
+The NIC receives packets from an external traffic source (the iPerf
+client model), queues them, and raises a physical IRQ towards the
+hypervisor. Interrupts are coalesced the way NAPI-era NICs behave: while
+an interrupt is pending/unserviced no further interrupt is raised; the
+guest driver drains the whole RX queue per IRQ.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..sim.time import us
+
+
+@dataclass
+class Packet:
+    """One frame on the wire."""
+
+    flow: str
+    size: int
+    seq: int
+    sent_at: int
+    payload: dict = field(default_factory=dict)
+
+
+class Nic:
+    """RX-side NIC with interrupt coalescing and a bounded ring."""
+
+    def __init__(self, sim, name="eth0", ring_size=4096, irq_latency=None):
+        self.sim = sim
+        self.name = name
+        self.ring_size = ring_size
+        self.irq_latency = us(2) if irq_latency is None else irq_latency
+        self.rx_queue = deque()
+        self.dropped = 0
+        self.delivered = 0
+        self._irq_pending = False
+        self._irq_sink = None
+
+    def attach_irq_sink(self, sink):
+        """``sink(nic)`` is invoked (after ``irq_latency``) when the NIC
+        raises a physical interrupt; the hypervisor registers here."""
+        self._irq_sink = sink
+
+    def receive(self, packet):
+        """A packet arrives from the wire."""
+        if len(self.rx_queue) >= self.ring_size:
+            self.dropped += 1
+            return False
+        self.rx_queue.append(packet)
+        self.delivered += 1
+        if not self._irq_pending:
+            self._irq_pending = True
+            self.sim.schedule(self.irq_latency, self._raise_irq)
+        return True
+
+    def _raise_irq(self, _arg=None):
+        if self._irq_sink is not None:
+            self._irq_sink(self)
+
+    def drain(self, budget=None):
+        """Guest driver pulls up to ``budget`` packets (all if ``None``).
+
+        Clears the pending-interrupt latch once the ring is empty so the
+        next arrival raises a fresh IRQ.
+        """
+        taken = []
+        while self.rx_queue and (budget is None or len(taken) < budget):
+            taken.append(self.rx_queue.popleft())
+        if not self.rx_queue:
+            self._irq_pending = False
+        else:
+            # Budget exhausted with packets left: the poll loop re-arms
+            # itself (NAPI re-poll) so the remainder is not stranded
+            # until the next arrival.
+            self._irq_pending = True
+            self.sim.schedule(self.irq_latency, self._raise_irq)
+        return taken
+
+    @property
+    def pending(self):
+        return len(self.rx_queue)

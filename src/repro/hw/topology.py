@@ -1,0 +1,49 @@
+"""Physical CPU topology.
+
+The paper's testbed is one socket of a dual Xeon E5645 (12 hardware
+threads used, hyperthreading siblings and the second socket excluded).
+The default topology mirrors that: a single socket with 12 pCPUs.
+"""
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PCpuInfo:
+    """Identity of one physical CPU."""
+
+    index: int
+    socket: int = 0
+
+    def __str__(self):
+        return "pCPU%d" % self.index
+
+
+class Topology:
+    """An ordered collection of :class:`PCpuInfo`."""
+
+    def __init__(self, num_pcpus=12, sockets=1):
+        if num_pcpus <= 0:
+            raise ConfigError("need at least one pCPU, got %d" % num_pcpus)
+        if sockets <= 0 or num_pcpus % sockets != 0:
+            raise ConfigError(
+                "pCPU count %d not divisible into %d sockets" % (num_pcpus, sockets)
+            )
+        per_socket = num_pcpus // sockets
+        self.pcpus = tuple(
+            PCpuInfo(index=i, socket=i // per_socket) for i in range(num_pcpus)
+        )
+
+    def __len__(self):
+        return len(self.pcpus)
+
+    def __iter__(self):
+        return iter(self.pcpus)
+
+    def __getitem__(self, index):
+        return self.pcpus[index]
+
+    def socket_of(self, index):
+        return self.pcpus[index].socket

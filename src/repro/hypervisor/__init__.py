@@ -1,0 +1,46 @@
+"""Hypervisor: domains, vCPUs, credit scheduler, cpupools, executors."""
+
+from .cpupool import CpuPool
+from .credit import BOOST, OVER, UNDER, CreditScheduler, MicroScheduler
+from .domain import Domain
+from .executor import (
+    STOP_IDLE,
+    STOP_IPI_WAIT,
+    STOP_PARK,
+    STOP_PLE,
+    STOP_PREEMPT,
+    STOP_SLICE,
+    PCpu,
+)
+from .hypervisor import Hypervisor, NullPolicy
+from .stats import YIELD_CAUSES, YIELD_HALT, YIELD_IPI, YIELD_OTHER, YIELD_SPINLOCK, HvStats
+from .vcpu import BLOCKED, RUNNABLE, RUNNING, VCpu
+
+__all__ = [
+    "BLOCKED",
+    "BOOST",
+    "CpuPool",
+    "CreditScheduler",
+    "Domain",
+    "HvStats",
+    "Hypervisor",
+    "MicroScheduler",
+    "NullPolicy",
+    "OVER",
+    "PCpu",
+    "RUNNABLE",
+    "RUNNING",
+    "STOP_IDLE",
+    "STOP_IPI_WAIT",
+    "STOP_PARK",
+    "STOP_PLE",
+    "STOP_PREEMPT",
+    "STOP_SLICE",
+    "UNDER",
+    "VCpu",
+    "YIELD_CAUSES",
+    "YIELD_HALT",
+    "YIELD_IPI",
+    "YIELD_OTHER",
+    "YIELD_SPINLOCK",
+]

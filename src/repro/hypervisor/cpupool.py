@@ -1,0 +1,50 @@
+"""CPU pools.
+
+Mirrors Xen's ``cpupool`` mechanism as the paper extends it: a *normal*
+pool running the credit scheduler with the default 30 ms slice, and a
+child *micro-sliced* pool with a 0.1 ms slice whose membership changes
+at runtime. pCPUs move between pools at executor loop boundaries (a
+running vCPU is preempted first).
+"""
+
+from ..errors import SchedulerError
+
+
+class CpuPool:
+    """A named set of pCPUs driven by one scheduler."""
+
+    def __init__(self, name, scheduler):
+        self.name = name
+        self.scheduler = scheduler
+        scheduler.pool = self
+        self.pcpus = []
+
+    @property
+    def slice(self):
+        return self.scheduler.slice
+
+    def add_pcpu(self, pcpu):
+        if pcpu in self.pcpus:
+            raise SchedulerError("%s already in pool %s" % (pcpu, self.name))
+        self.pcpus.append(pcpu)
+        register = getattr(self.scheduler, "register_pcpu", None)
+        if register is not None:
+            register(pcpu)
+
+    def remove_pcpu(self, pcpu):
+        """Detach a pCPU; returns a stranded pending vCPU, if any."""
+        try:
+            self.pcpus.remove(pcpu)
+        except ValueError:
+            raise SchedulerError("%s not in pool %s" % (pcpu, self.name)) from None
+        self.scheduler.remove_idle(pcpu)
+        unregister = getattr(self.scheduler, "unregister_pcpu", None)
+        if unregister is not None:
+            return unregister(pcpu)
+        return None
+
+    def __len__(self):
+        return len(self.pcpus)
+
+    def __repr__(self):
+        return "<CpuPool %s pcpus=%d>" % (self.name, len(self.pcpus))

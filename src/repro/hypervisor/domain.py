@@ -1,0 +1,39 @@
+"""Domains (virtual machines)."""
+
+from ..errors import ConfigError
+from ..guest.kernel import GuestKernel
+from ..metrics.counters import CounterSet
+from .vcpu import VCpu
+
+
+class Domain:
+    """One VM: a set of vCPUs plus its guest kernel state."""
+
+    def __init__(self, hv, name, num_vcpus, weight=256, symbols=None):
+        if num_vcpus <= 0:
+            raise ConfigError("domain %r needs at least one vCPU" % name)
+        self.hv = hv
+        self.name = name
+        self.weight = weight
+        self.counters = CounterSet()
+        self.kernel = GuestKernel(self, hv.costs, symbols=symbols)
+        self.kernel.attach_hypervisor(hv)
+        self.vcpus = [
+            VCpu(self, index, hv.costs.cache, now=hv.sim.now) for index in range(num_vcpus)
+        ]
+        self.workloads = []
+
+    def vcpu(self, index):
+        return self.vcpus[index]
+
+    def siblings_of(self, vcpu):
+        return [v for v in self.vcpus if v is not vcpu]
+
+    def pin_all(self, pcpu_indices):
+        """Restrict every vCPU of this domain to the given pCPUs."""
+        mask = frozenset(pcpu_indices)
+        for vcpu in self.vcpus:
+            vcpu.affinity = mask
+
+    def __repr__(self):
+        return "<Domain %s %d vCPUs>" % (self.name, len(self.vcpus))

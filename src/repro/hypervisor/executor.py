@@ -1,0 +1,434 @@
+"""pCPU executors.
+
+Each physical CPU is a simulation process: it asks its pool's scheduler
+for a vCPU, charges the world-switch cost, and then interprets the
+vCPU's action stream (task programs and IRQ-context kernel work)
+against shared guest state until the slice expires, the vCPU blocks, or
+it yields. All VTD pathologies emerge here: a descheduled vCPU's
+in-flight action (a held lock's critical section, an unacknowledged
+shootdown) simply stays frozen until the vCPU runs again.
+"""
+
+import math
+
+from ..errors import SimulationError
+from ..guest import actions as act
+from ..guest import spinlock as sl
+from ..sim.events import Interrupt
+
+#: Stop reasons returned by the executor to the hypervisor.
+STOP_SLICE = "slice"          # time slice expired
+STOP_PREEMPT = "preempt"      # tickled off for a BOOST vCPU / pool change
+STOP_IDLE = "idle"            # guest has nothing to run (halt)
+STOP_PARK = "park"            # pv_wait: parked lock waiter
+STOP_PLE = "ple"              # pause-loop exit while spinning on a lock
+STOP_IPI_WAIT = "ipi_wait"    # voluntary yield while awaiting IPI acks
+
+
+class PCpu:
+    """Executor bound to one physical CPU."""
+
+    def __init__(self, hv, info):
+        self.hv = hv
+        self.sim = hv.sim
+        self.info = info
+        self.pool = None
+        self.pending_pool = None
+        self.current = None
+        self.preempt_requested = False
+        self.proc = None
+        self.slice_end = 0
+        self.idle_since = None
+        self.busy_ns = 0
+        self._last_vcpu = None
+
+    def __repr__(self):
+        return "<PCpu %d pool=%s cur=%s>" % (
+            self.info.index,
+            self.pool.name if self.pool else None,
+            self.current.name if self.current else None,
+        )
+
+    # ------------------------------------------------------------------
+    # external pokes
+    # ------------------------------------------------------------------
+    def tickle(self):
+        """Wake this pCPU out of its idle wait."""
+        if self.proc is not None and self.current is None:
+            self.proc.interrupt(("tickle",))
+
+    def request_preempt(self):
+        """Ask the executor to deschedule its current vCPU ASAP."""
+        self.preempt_requested = True
+        if self.proc is not None:
+            self.proc.interrupt(("preempt",))
+
+    def interrupt_current(self, cause, vcpu):
+        """Deliver a wait-breaking cause to the vCPU running here."""
+        if self.current is vcpu and self.proc is not None:
+            self.proc.interrupt(cause)
+
+    def request_pool_change(self, pool):
+        self.pending_pool = pool
+        if self.current is not None:
+            self.request_preempt()
+        else:
+            self.tickle()
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def start(self):
+        self.proc = self.sim.process(self._loop(), name="pcpu%d" % self.info.index)
+        return self.proc
+
+    def _loop(self):
+        while True:
+            if self.pending_pool is not None and self.pending_pool is not self.pool:
+                self.hv.complete_pool_change(self)
+            self.pending_pool = None
+            vcpu = self.pool.scheduler.pick(self)
+            if vcpu is None:
+                yield from self._idle()
+                continue
+            yield from self._run(vcpu)
+
+    def _idle(self):
+        scheduler = self.pool.scheduler
+        scheduler.add_idle(self)
+        self.idle_since = self.sim.now
+        try:
+            yield self.sim.event(name="idle:pcpu%d" % self.info.index)
+        except Interrupt:
+            pass
+        finally:
+            scheduler.remove_idle(self)
+            self.idle_since = None
+
+    def _charge(self, duration):
+        """Burn uninterruptible pCPU time (world switches); interrupts
+        land but only set flags consumed later."""
+        end = self.sim.now + duration
+        while self.sim.now < end:
+            try:
+                yield self.sim.timeout(end - self.sim.now)
+            except Interrupt:
+                continue
+
+    def _run(self, vcpu):
+        sim = self.sim
+        hv = self.hv
+        self.preempt_requested = False
+        if vcpu is self._last_vcpu:
+            # Re-entering the vCPU we just ran (e.g. after a PLE yield
+            # with no competitor): a VMEXIT/VMENTER round trip, not a
+            # full world switch.
+            yield from self._charge(hv.costs.vmexit)
+        else:
+            yield from self._charge(hv.costs.ctx_switch)
+        polluted = self._last_vcpu is not None and self._last_vcpu is not vcpu
+        self._last_vcpu = vcpu
+        self.current = vcpu
+        vcpu.pcpu = self
+        vcpu.last_pcpu = self
+        hv.mark_running(vcpu)
+        vcpu.cache.on_schedule_in(sim.now, polluted=polluted)
+        hv.stats.count_schedule(vcpu)
+        started = sim.now
+        self.slice_end = sim.now + self.pool.scheduler.slice_for(vcpu)
+        stop = None
+        while stop is None:
+            if self.preempt_requested or self.pending_pool is not None:
+                stop = (STOP_PREEMPT, None)
+                break
+            if sim.now >= self.slice_end:
+                stop = (STOP_SLICE, None)
+                break
+            ctx, task, switched = vcpu.next_context()
+            if ctx is None:
+                stop = (STOP_IDLE, None)
+                break
+            if switched:
+                vcpu.current_symbol = "schedule"
+                yield from self._charge(hv.costs.guest_ctx_switch)
+            action = ctx.peek()
+            if action is None:
+                # Exhausted context: IRQ work completes; a task exits.
+                if task is None:
+                    vcpu.finish_kernel_work(ctx)
+                else:
+                    hv.on_task_exit(vcpu, task)
+                continue
+            stop = yield from self._dispatch(vcpu, task, action)
+        runtime = sim.now - started
+        self.busy_ns += runtime
+        vcpu.cache.on_schedule_out(sim.now)
+        vcpu.pcpu = None
+        self.current = None
+        self.preempt_requested = False
+        hv.on_deschedule(vcpu, stop, runtime)
+
+    # ------------------------------------------------------------------
+    # action dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, vcpu, task, action):
+        if isinstance(action, act.Compute):
+            return (yield from self._exec_compute(vcpu, task, action))
+        if isinstance(action, act.Acquire):
+            return (yield from self._exec_acquire(vcpu, task, action))
+        if isinstance(action, act.Release):
+            return (yield from self._exec_release(vcpu, task, action))
+        if isinstance(action, act.Shootdown):
+            return (yield from self._exec_shootdown(vcpu, task, action))
+        if isinstance(action, act.Wake):
+            return (yield from self._exec_wake(vcpu, task, action))
+        if isinstance(action, act.SmpCallSingle):
+            return (yield from self._exec_smp_call(vcpu, task, action))
+        if isinstance(action, act.Sleep):
+            return self._exec_sleep(vcpu, task, action)
+        if isinstance(action, act.GYield):
+            return self._exec_gyield(vcpu, task, action)
+        if isinstance(action, act.Emit):
+            return (yield from self._exec_emit(vcpu, task, action))
+        raise SimulationError("unknown action %r" % (action,))
+
+    def _should_break(self, vcpu, task):
+        """Common deschedule/IRQ checks inside action loops. Returns a
+        stop tuple, the string ``"irq"`` (service kernel work first), or
+        ``None`` to keep going."""
+        if self.preempt_requested or self.pending_pool is not None:
+            return (STOP_PREEMPT, None)
+        if self.sim.now >= self.slice_end:
+            return (STOP_SLICE, None)
+        if task is not None and vcpu.kernel_work:
+            return "irq"
+        return None
+
+    def _exec_compute(self, vcpu, task, action):
+        sim = self.sim
+        while not action.done:
+            verdict = self._should_break(vcpu, task)
+            if verdict == "irq":
+                return None
+            if verdict is not None:
+                return verdict
+            speed = vcpu.cache.speed(sim.now) if action.user else 1.0
+            want = int(math.ceil(action.remaining / speed))
+            dt = min(want, self.slice_end - sim.now)
+            vcpu.current_symbol = action.symbol
+            start = sim.now
+            interrupted = False
+            try:
+                yield sim.timeout(dt)
+            except Interrupt:
+                interrupted = True
+            elapsed = sim.now - start
+            if not interrupted and dt == want:
+                progressed = action.remaining
+            else:
+                progressed = min(action.remaining, int(elapsed * speed))
+                if progressed == 0 and elapsed > 0:
+                    progressed = min(action.remaining, 1)
+            action.consume(progressed)
+            if task is not None:
+                task.charge(elapsed)
+        return None
+
+    def _exec_acquire(self, vcpu, task, action):
+        sim = self.sim
+        lock = action.lock
+        kernel = vcpu.domain.kernel
+        if lock.granted_to(vcpu):
+            lock.finish_grant(vcpu)
+            self._finish_lock_wait(kernel, lock, action)
+            return None
+        if action.wait_started is None and lock.try_acquire(vcpu):
+            action.done = True
+            return None
+        waiter = lock.add_waiter(vcpu)
+        if action.wait_started is None:
+            action.wait_started = sim.now
+        ple_budget = self.hv.ple.spin_budget()
+        while True:
+            if waiter.granted:
+                lock.finish_grant(vcpu)
+                self._finish_lock_wait(kernel, lock, action)
+                return None
+            verdict = self._should_break(vcpu, task)
+            if verdict == "irq":
+                waiter.state = sl.WAITING
+                return None
+            if verdict is not None:
+                waiter.state = sl.WAITING
+                return verdict
+            slice_left = self.slice_end - sim.now
+            budget = slice_left if ple_budget is None else min(ple_budget, slice_left)
+            waiter.state = sl.SPINNING
+            vcpu.current_symbol = action.symbol
+            start = sim.now
+            interrupted = False
+            try:
+                yield sim.timeout(budget)
+            except Interrupt:
+                interrupted = True
+            if task is not None:
+                task.charge(sim.now - start)
+            if interrupted:
+                continue
+            if waiter.granted:
+                continue
+            if ple_budget is not None and budget == ple_budget:
+                # Full PLE window elapsed: PAUSE-loop VMEXIT. The pv
+                # slowpath parks after its spin rounds are exhausted; a
+                # user-level mutex futex-sleeps the task instead so the
+                # vCPU stays available for other guest work.
+                action.spun += 1
+                if action.spun >= self.hv.pv_spin_rounds:
+                    action.spun = 0
+                    if lock.user_level and task is not None:
+                        waiter.state = sl.FUTEX
+                        waiter.task = task
+                        if waiter.waitq is None:
+                            from ..guest.waitqueue import WaitQueue
+
+                            waiter.waitq = WaitQueue(name="futex:%s" % lock.name)
+                        vcpu.current_symbol = None
+                        vcpu.guest_cpu.sleep(task, waiter.waitq)
+                        return None
+                    waiter.state = sl.PARKED
+                    return (STOP_PARK, lock)
+                waiter.state = sl.WAITING
+                return (STOP_PLE, lock)
+            waiter.state = sl.WAITING
+            return (STOP_SLICE, None)
+
+    def _finish_lock_wait(self, kernel, lock, action):
+        action.done = True
+        if action.wait_started is not None:
+            kernel.record_lock_wait(lock, self.sim.now - action.wait_started)
+
+    def _exec_release(self, vcpu, task, action):
+        sim = self.sim
+        lock = action.lock
+        vcpu.current_symbol = action.symbol
+        yield from self._charge(300)
+        grantee = lock.release(vcpu)
+        if grantee is not None and lock.user_level:
+            waiter = lock.waiter(grantee)
+            if waiter is not None and waiter.state == sl.FUTEX:
+                # futex wake: make the sleeping task runnable (cross-vCPU
+                # wakes ride a fire-and-forget reschedule IPI).
+                woken = waiter.task
+                waiter.waitq.discard_sleeper(woken)
+                woken.sleeping_on = None
+                if woken.vcpu is vcpu:
+                    vcpu.guest_cpu.enqueue(woken)
+                else:
+                    vcpu.domain.kernel.send_resched_ipi(vcpu, woken, sim.now)
+        action.done = True
+        return None
+
+    def _exec_shootdown(self, vcpu, task, action):
+        sim = self.sim
+        kernel = vcpu.domain.kernel
+        if action.op is None:
+            vcpu.current_symbol = "native_flush_tlb_others"
+            yield from self._charge(kernel.costs.tlb_flush_local)
+            action.op = kernel.tlb.start(vcpu, sim.now)
+            action.wait_started = sim.now
+        op = action.op
+        stop = yield from self._await_ipi(vcpu, task, action, op)
+        return stop
+
+    def _exec_wake(self, vcpu, task, action):
+        sim = self.sim
+        kernel = vcpu.domain.kernel
+        if action.ipi_op is None:
+            vcpu.current_symbol = action.symbol
+            yield from self._charge(700)
+            woken = action.waitq.pop_sleeper()
+            if woken is None:
+                action.done = True
+                return None
+            woken.sleeping_on = None
+            if woken.vcpu is vcpu:
+                vcpu.guest_cpu.enqueue(woken)
+                action.done = True
+                return None
+            action.ipi_op = kernel.send_resched_ipi(vcpu, woken, sim.now)
+            action.wait_started = sim.now
+            if not action.sync:
+                action.done = True
+                return None
+        return (yield from self._await_ipi(vcpu, task, action, action.ipi_op))
+
+    def _exec_smp_call(self, vcpu, task, action):
+        sim = self.sim
+        kernel = vcpu.domain.kernel
+        if action.op is None:
+            vcpu.current_symbol = action.symbol
+            yield from self._charge(500)
+            siblings = vcpu.domain.siblings_of(vcpu)
+            if not siblings:
+                action.done = True
+                return None
+            if action.target_index is not None:
+                target = vcpu.domain.vcpus[action.target_index]
+            else:
+                target = siblings[vcpu.index % len(siblings)]
+            action.op = kernel.send_call_function(vcpu, target, sim.now)
+            action.wait_started = sim.now
+        return (yield from self._await_ipi(vcpu, task, action, action.op))
+
+    def _await_ipi(self, vcpu, task, action, op):
+        """Spin until ``op`` completes, yielding the pCPU (an ``ipi``
+        yield) every exhausted spin window — the
+        ``smp_call_function_*`` wait behaviour."""
+        sim = self.sim
+        ple_budget = self.hv.ple.spin_budget()
+        while not op.complete:
+            verdict = self._should_break(vcpu, task)
+            if verdict == "irq":
+                return None
+            if verdict is not None:
+                return verdict
+            slice_left = self.slice_end - sim.now
+            budget = slice_left if ple_budget is None else min(ple_budget, slice_left)
+            vcpu.current_symbol = action.symbol
+            start = sim.now
+            interrupted = False
+            try:
+                yield sim.timeout(budget)
+            except Interrupt:
+                interrupted = True
+            if task is not None:
+                task.charge(sim.now - start)
+            if interrupted or op.complete:
+                continue
+            if ple_budget is not None and budget == ple_budget:
+                return (STOP_IPI_WAIT, op)
+            return (STOP_SLICE, None)
+        action.done = True
+        return None
+
+    def _exec_sleep(self, vcpu, task, action):
+        if task is None:
+            raise SimulationError("Sleep action in IRQ context")
+        vcpu.current_symbol = "schedule"
+        vcpu.guest_cpu.sleep(task, action.waitq)
+        action.done = True
+        return None
+
+    def _exec_gyield(self, vcpu, task, action):
+        if task is not None:
+            vcpu.guest_cpu.yield_current()
+        action.done = True
+        return None
+
+    def _exec_emit(self, vcpu, task, action):
+        if action.cost:
+            vcpu.current_symbol = action.symbol
+            yield from self._charge(action.cost)
+        action.fn(self.sim.now)
+        action.done = True
+        return None

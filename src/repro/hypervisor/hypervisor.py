@@ -1,0 +1,399 @@
+"""The hypervisor facade.
+
+Owns the pools, domains, executors, stats, and the relay paths (vIRQ,
+vIPI, kicks) through which guest kernels and devices reach the
+scheduler. The micro-slicing *policy* (the paper's contribution) is
+pluggable: the baseline installs a no-op policy, the static and dynamic
+schemes install :class:`repro.core.microslice.MicroSliceEngine`.
+"""
+
+import random
+
+from ..errors import ConfigError, SchedulerError
+from ..hw.costs import CostModel
+from ..hw.ple import PleConfig
+from ..hw.topology import Topology
+from ..sim.rng import derive_seed
+from ..sim.time import ms, us
+from . import executor as ex
+from . import vcpu as vc
+from .cpupool import CpuPool
+from .credit import CreditScheduler, MicroScheduler
+from .domain import Domain
+from .stats import HvStats
+
+
+class NullPolicy:
+    """Baseline: no micro-slicing, all hooks are no-ops."""
+
+    active = False
+
+    def on_yield(self, vcpu, cause, detail):
+        pass
+
+    def on_vipi(self, src, dst, op):
+        pass
+
+    def on_virq(self, vcpu):
+        pass
+
+    def start(self, hv):
+        pass
+
+
+class Hypervisor:
+    """A consolidated host: pCPUs, pools, and domains."""
+
+    def __init__(
+        self,
+        sim,
+        num_pcpus=12,
+        costs=None,
+        ple=None,
+        normal_slice=None,
+        micro_slice=None,
+        pv_spin_rounds=1,
+        tracer=None,
+        seed=0,
+    ):
+        self.sim = sim
+        self.costs = costs if costs is not None else CostModel()
+        self.ple = ple if ple is not None else PleConfig()
+        self.pv_spin_rounds = pv_spin_rounds
+        self.stats = HvStats()
+        self.tracer = tracer
+        self.topology = Topology(num_pcpus=num_pcpus)
+        self.domains = []
+        self.nic_owner = {}
+        self.policy = NullPolicy()
+
+        scheduler_rng = random.Random(derive_seed(seed, "hv.credit"))
+        self.normal_pool = CpuPool(
+            "normal",
+            CreditScheduler(sim, slice_ns=normal_slice or ms(30), rng=scheduler_rng),
+        )
+        self.micro_pool = CpuPool(
+            "micro", MicroScheduler(sim, micro_slice or us(100))
+        )
+        self.pcpus = [ex.PCpu(self, info) for info in self.topology]
+        for pcpu in self.pcpus:
+            pcpu.pool = self.normal_pool
+            self.normal_pool.add_pcpu(pcpu)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def create_domain(self, name, num_vcpus, weight=256, symbols=None):
+        domain = Domain(self, name, num_vcpus, weight=weight, symbols=symbols)
+        self.domains.append(domain)
+        for vcpu in domain.vcpus:
+            vcpu.pool = self.normal_pool
+        return domain
+
+    def attach_nic(self, nic, domain):
+        """Route the NIC's physical IRQs to ``domain``."""
+        self.nic_owner[nic] = domain
+        nic.attach_irq_sink(self.on_nic_irq)
+
+    def set_policy(self, policy):
+        self.policy = policy
+
+    def start(self):
+        """Enqueue every vCPU and start the pCPU executors. Idempotent
+        setup must happen before the simulator runs its first event."""
+        if self._started:
+            raise SchedulerError("hypervisor already started")
+        self._started = True
+        # Xen inserts vCPUs at UNDER priority (csched_vcpu_insert); a
+        # nominal positive credit balance reproduces that without
+        # perturbing the credit economy.
+        for domain in self.domains:
+            for vcpu in domain.vcpus:
+                if vcpu.credits <= 0:
+                    vcpu.credits = 1
+        for domain in self.domains:
+            for vcpu in domain.vcpus:
+                vcpu.state = vc.RUNNABLE
+                self.normal_pool.scheduler.enqueue(vcpu)
+        for pcpu in self.pcpus:
+            pcpu.start()
+        self.sim.process(self._accounting_loop(), name="credit-accounting")
+        scheduler = self.normal_pool.scheduler
+        stagger = max(1, scheduler.tick // max(1, len(self.pcpus)))
+        for offset, pcpu in enumerate(self.pcpus):
+            self.sim.process(
+                self._tick_loop(pcpu, (offset + 1) * stagger),
+                name="tick-pcpu%d" % pcpu.info.index,
+            )
+        self.policy.start(self)
+
+    def _accounting_loop(self):
+        scheduler = self.normal_pool.scheduler
+        while True:
+            yield self.sim.timeout(scheduler.period)
+            scheduler.account(self.domains, len(self.normal_pool))
+
+    def _tick_loop(self, pcpu, initial_delay):
+        """credit1's per-pCPU 10 ms tick: preempt an OVER vCPU when
+        something better waits on the local runqueue."""
+        scheduler = self.normal_pool.scheduler
+        yield self.sim.timeout(initial_delay)
+        while True:
+            if pcpu.pool is self.normal_pool:
+                current = pcpu.current
+                if current is not None and not pcpu.preempt_requested:
+                    best = scheduler.best_waiting_priority(pcpu)
+                    if (
+                        best is not None
+                        and current.priority is not None
+                        and current.priority > best
+                    ):
+                        pcpu.request_preempt()
+            yield self.sim.timeout(scheduler.tick)
+
+    # ------------------------------------------------------------------
+    # scheduling callbacks (from executors)
+    # ------------------------------------------------------------------
+    def mark_running(self, vcpu):
+        vcpu.state = vc.RUNNING
+        vcpu.lazy_tlb = False
+
+    def on_deschedule(self, vcpu, stop, runtime):
+        reason, detail = stop
+        if vcpu.micro_resident and vcpu.pool is self.normal_pool:
+            vcpu.pool = self.micro_pool
+        pool = vcpu.pool
+        pool.scheduler.charge(vcpu, runtime)
+        vcpu.total_ran += runtime
+        if pool is self.micro_pool and not vcpu.micro_resident:
+            # One micro slice only; the vCPU always goes home (§5).
+            vcpu.pool = self.normal_pool
+        if self.tracer is not None:
+            self.tracer.emit("deschedule", vcpu=vcpu.name, reason=reason)
+        if reason == ex.STOP_IDLE:
+            vcpu.state = vc.BLOCKED
+            vcpu.lazy_tlb = True
+            self.stats.count_yield(vcpu, "halt")
+            # A halt is a voluntary (software-triggered) yield (§4.1):
+            # scan the preempted siblings — e.g. an rwsem writer whose
+            # waiters just went to sleep.
+            self.policy.on_yield(vcpu, "halt", None)
+            return
+        if reason == ex.STOP_PARK:
+            self.stats.count_yield(vcpu, "spinlock")
+            lock = detail
+            if lock is not None and lock.granted_to(vcpu):
+                # The lock was handed to us between the park decision and
+                # this point; the pv-kick saw us still running and was a
+                # no-op, so parking now would deadlock the lock. Stay
+                # runnable instead.
+                vcpu.state = vc.RUNNABLE
+                self.normal_pool.scheduler.requeue(vcpu)
+            else:
+                vcpu.state = vc.BLOCKED
+            self.policy.on_yield(vcpu, "spinlock", detail)
+            return
+        vcpu.state = vc.RUNNABLE
+        yielded = reason in (ex.STOP_PLE, ex.STOP_IPI_WAIT)
+        if vcpu.pool is self.micro_pool:
+            # A resident short-slice vCPU goes straight back into its
+            # pool's slot (comparator policies).
+            if not self.micro_pool.scheduler.assign(vcpu):
+                vcpu.pool = self.normal_pool
+                self.normal_pool.scheduler.requeue(vcpu, yielded=yielded)
+        else:
+            self.normal_pool.scheduler.requeue(vcpu, yielded=yielded)
+        if reason == ex.STOP_PLE:
+            self.stats.count_yield(vcpu, "spinlock")
+            self.policy.on_yield(vcpu, "spinlock", detail)
+        elif reason == ex.STOP_IPI_WAIT:
+            self.stats.count_yield(vcpu, "ipi")
+            self.policy.on_yield(vcpu, "ipi", detail)
+        elif reason == ex.STOP_PREEMPT:
+            self.stats.count_preempt(vcpu)
+
+    def on_task_exit(self, vcpu, task):
+        from ..guest import task as task_mod
+
+        task.state = task_mod.EXITED
+        guest_cpu = vcpu.guest_cpu
+        if guest_cpu.current is task:
+            guest_cpu.current = None
+
+    # ------------------------------------------------------------------
+    # wake / relay paths
+    # ------------------------------------------------------------------
+    def wake_vcpu(self, vcpu):
+        """Wake a blocked vCPU (BOOST path). No-op otherwise."""
+        if vcpu.state != vc.BLOCKED:
+            return
+        vcpu.state = vc.RUNNABLE
+        vcpu.lazy_tlb = False
+        if vcpu.pool is self.micro_pool:
+            if vcpu.micro_resident and self.micro_pool.scheduler.assign(vcpu):
+                return
+            vcpu.pool = self.normal_pool
+        self.normal_pool.scheduler.wake(vcpu)
+
+    def make_micro_resident(self, vcpu):
+        """Permanently pin a vCPU to the micro-sliced pool (comparator
+        policies: vTurbo's turbo cores, vTRS's short-slice class).
+        Returns False when no slot is available."""
+        vcpu.micro_resident = True
+        if vcpu.pool is self.micro_pool:
+            return True
+        if vcpu.state == vc.RUNNABLE and self.normal_pool.scheduler.remove(vcpu):
+            vcpu.pool = self.micro_pool
+            if not self.micro_pool.scheduler.assign(vcpu):
+                vcpu.pool = self.normal_pool
+                vcpu.micro_resident = False
+                self.normal_pool.scheduler.requeue(vcpu)
+                return False
+            return True
+        if vcpu.state == vc.BLOCKED:
+            vcpu.pool = self.micro_pool
+            return True
+        # RUNNING, or already dequeued by a pCPU about to run it:
+        # pulled over at its next deschedule (on_deschedule honours the
+        # resident flag).
+        return True
+
+    def release_micro_resident(self, vcpu):
+        """Undo make_micro_resident."""
+        vcpu.micro_resident = False
+        if vcpu.pool is self.micro_pool and vcpu.state == vc.RUNNABLE:
+            if self.micro_pool.scheduler.remove(vcpu):
+                vcpu.pool = self.normal_pool
+                self.normal_pool.scheduler.requeue(vcpu)
+
+    def kick_vcpu(self, vcpu):
+        """pv-spinlock kick (event-channel notification)."""
+        self.wake_vcpu(vcpu)
+
+    def relay_vipi(self, src, dst, op, work, name=""):
+        """Relay a guest IPI: deliver the handler work to ``dst`` after
+        the wire latency. The policy sees the relay first, mirroring the
+        paper's interception point."""
+        self.stats.count_vipi(src, dst, op.kind)
+
+        def _deliver(_arg):
+            self.policy.on_vipi(src, dst, op)
+            dst.post_kernel_work(work, name=name or op.kind)
+
+        self.sim.schedule(self.costs.ipi_deliver, _deliver)
+
+    def on_nic_irq(self, nic):
+        """Physical NIC interrupt: inject a vIRQ into the owner VM's
+        designated vCPU."""
+        domain = self.nic_owner.get(nic)
+        if domain is None or domain.kernel.net is None:
+            raise ConfigError("NIC %r raised an IRQ but is not attached" % nic.name)
+        vcpu = domain.kernel.net.irq_vcpu
+        self.stats.count_virq(vcpu)
+
+        def _inject(_arg):
+            from ..guest import irqwork
+
+            self.policy.on_virq(vcpu)
+            vcpu.post_kernel_work(
+                irqwork.net_rx_work(domain.kernel, vcpu, nic), name="net_rx"
+            )
+
+        self.sim.schedule(self.costs.irq_inject, _inject)
+
+    # ------------------------------------------------------------------
+    # micro pool management
+    # ------------------------------------------------------------------
+    def reserved_pcpu_indices(self):
+        """pCPUs pinned by some vCPU's affinity; never moved to the
+        micro pool."""
+        reserved = set()
+        for domain in self.domains:
+            for vcpu in domain.vcpus:
+                if vcpu.affinity is not None:
+                    reserved |= set(vcpu.affinity)
+        return reserved
+
+    def micro_core_count(self):
+        return len(self.micro_pool) + sum(
+            1 for p in self.pcpus if p.pending_pool is self.micro_pool
+        )
+
+    def set_micro_cores(self, count):
+        """Grow/shrink the micro pool to ``count`` pCPUs (asynchronous:
+        running vCPUs are preempted, membership flips at the executor
+        loop boundary)."""
+        if count < 0:
+            raise ConfigError("negative micro core count")
+        if count >= len(self.pcpus):
+            raise ConfigError("cannot micro-slice every pCPU")
+        current = self.micro_core_count()
+        if count > current:
+            reserved = self.reserved_pcpu_indices()
+            candidates = [
+                p
+                for p in reversed(self.pcpus)
+                if p.pool is self.normal_pool
+                and p.pending_pool is None
+                and p.info.index not in reserved
+            ]
+            for pcpu in candidates[: count - current]:
+                pcpu.request_pool_change(self.micro_pool)
+        elif count < current:
+            victims = [
+                p
+                for p in self.pcpus
+                if (p.pool is self.micro_pool or p.pending_pool is self.micro_pool)
+            ]
+            for pcpu in victims[: current - count]:
+                pcpu.request_pool_change(self.normal_pool)
+
+    def complete_pool_change(self, pcpu):
+        """Called by the executor at its loop boundary."""
+        target = pcpu.pending_pool
+        stranded = pcpu.pool.remove_pcpu(pcpu)
+        target.add_pcpu(pcpu)
+        pcpu.pool = target
+        if stranded is not None:
+            stranded.pool = self.normal_pool
+            if stranded.state == vc.RUNNABLE:
+                self.normal_pool.scheduler.requeue(stranded)
+
+    def accelerate(self, vcpu, wake=False):
+        """Migrate a preempted (or, with ``wake``, blocked) vCPU onto a
+        micro-sliced core. Returns ``True`` on success."""
+        if vcpu.state == vc.RUNNING or vcpu.pool is self.micro_pool:
+            return False
+        if not self.micro_pool.pcpus:
+            return False
+        if vcpu.state == vc.BLOCKED:
+            if not wake:
+                return False
+            vcpu.state = vc.RUNNABLE
+            vcpu.lazy_tlb = False
+        elif not self.normal_pool.scheduler.remove(vcpu):
+            # Not actually in the runqueue: a pCPU has already dequeued
+            # it and is about to run it. Migrating now would let two
+            # pCPUs execute the same vCPU.
+            return False
+        vcpu.pool = self.micro_pool
+        if not self.micro_pool.scheduler.assign(vcpu):
+            # Every micro runqueue is full; send the vCPU home.
+            vcpu.pool = self.normal_pool
+            self.normal_pool.scheduler.requeue(vcpu)
+            return False
+        self.stats.count_migration(vcpu)
+        if self.tracer is not None:
+            self.tracer.emit("accelerate", vcpu=vcpu.name)
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def utilization(self, elapsed_ns):
+        """Fraction of pCPU time spent running vCPUs."""
+        if elapsed_ns <= 0:
+            return 0.0
+        busy = sum(p.busy_ns for p in self.pcpus)
+        return busy / (elapsed_ns * len(self.pcpus))

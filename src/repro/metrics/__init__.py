@@ -1,0 +1,20 @@
+"""Measurement substrate: counters, latency stats, lockstat, flow metrics."""
+
+from .counters import CounterSet
+from .jitter import FlowMetrics
+from .latency import LatencyStat
+from .lockstat import LockStat
+from .report import ratio, render_table
+from .timeline import Series, TimelineSampler, standard_probes
+
+__all__ = [
+    "CounterSet",
+    "FlowMetrics",
+    "LatencyStat",
+    "LockStat",
+    "Series",
+    "TimelineSampler",
+    "ratio",
+    "render_table",
+    "standard_probes",
+]

@@ -1,0 +1,49 @@
+"""Labelled counters with window snapshots.
+
+The hypervisor counts events (yields by cause, IPIs, PLEs, vIRQs,
+migrations); the adaptive controller reads *windowed* deltas of the same
+counters, so :class:`CounterSet` supports cheap mark/delta windows.
+"""
+
+from collections import defaultdict
+
+
+class CounterSet:
+    """A dictionary of named integer counters."""
+
+    def __init__(self):
+        self._values = defaultdict(int)
+        self._window_marks = {}
+
+    def inc(self, name, amount=1):
+        self._values[name] += amount
+
+    def get(self, name, default=0):
+        return self._values.get(name, default)
+
+    def items(self):
+        return sorted(self._values.items())
+
+    def as_dict(self):
+        return dict(self._values)
+
+    def reset(self):
+        """Zero every counter (end of a warmup phase)."""
+        self._values.clear()
+        self._window_marks = {}
+
+    def mark_window(self):
+        """Start a delta window over all counters (current values become
+        the baseline for :meth:`window_delta`)."""
+        self._window_marks = dict(self._values)
+
+    def window_delta(self, name):
+        """Counter increase since the last :meth:`mark_window`."""
+        return self._values.get(name, 0) - self._window_marks.get(name, 0)
+
+    def window_deltas(self):
+        names = set(self._values) | set(self._window_marks)
+        return {name: self.window_delta(name) for name in names}
+
+    def __repr__(self):
+        return "CounterSet(%r)" % (dict(self._values),)

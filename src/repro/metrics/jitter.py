@@ -1,0 +1,85 @@
+"""iPerf-style network flow metrics.
+
+``iperf`` reports *jitter* as the RFC 1889 (RTP) smoothed estimate of
+transit-time variation: ``J += (|D| - J) / 16`` where ``D`` is the
+difference between consecutive packets' one-way transit times. Table 4c
+and Figure 9 of the paper report this jitter plus achieved throughput;
+:class:`FlowMetrics` computes both at the point the application consumes
+the data.
+"""
+
+
+class FlowMetrics:
+    """Throughput + jitter for one flow.
+
+    Two jitter figures are kept: ``final_jitter_ms`` is the RFC 1889
+    EWMA at the last packet (exactly what iperf prints at test end,
+    but it forgets bursts that happened earlier in the run), and
+    ``jitter_ms`` — the headline number used by the tables — is the
+    run-average of the same |transit deviation| samples, which captures
+    the scheduling bursts the paper's mixed scenario produces no matter
+    when the run ends.
+    """
+
+    def __init__(self, name=""):
+        self.name = name
+        self.bytes = 0
+        self.packets = 0
+        self.jitter_ns = 0.0
+        self.first_at = None
+        self.last_at = None
+        self._last_transit = None
+        self.max_transit = 0
+        self._dev_total = 0
+        self._dev_count = 0
+
+    def on_delivery(self, now, sent_at, size):
+        """Record one packet consumed by the application at ``now``."""
+        self.bytes += size
+        self.packets += 1
+        if self.first_at is None:
+            self.first_at = now
+        self.last_at = now
+        transit = now - sent_at
+        if transit > self.max_transit:
+            self.max_transit = transit
+        if self._last_transit is not None:
+            deviation = abs(transit - self._last_transit)
+            self.jitter_ns += (deviation - self.jitter_ns) / 16.0
+            self._dev_total += deviation
+            self._dev_count += 1
+        self._last_transit = transit
+
+    def throughput_mbps(self, duration_ns=None):
+        """Achieved goodput in Mbit/s over ``duration_ns`` (defaults to
+        first..last delivery)."""
+        if duration_ns is None:
+            if self.first_at is None or self.last_at is None or self.last_at <= self.first_at:
+                return 0.0
+            duration_ns = self.last_at - self.first_at
+        if duration_ns <= 0:
+            return 0.0
+        return (self.bytes * 8.0) / (duration_ns / 1e9) / 1e6
+
+    @property
+    def jitter_ms(self):
+        """Run-average |transit deviation| in ms (see class docstring)."""
+        if not self._dev_count:
+            return 0.0
+        return (self._dev_total / self._dev_count) / 1e6
+
+    @property
+    def final_jitter_ms(self):
+        """RFC 1889 EWMA at the last delivered packet."""
+        return self.jitter_ns / 1e6
+
+    def snapshot(self):
+        return {
+            "name": self.name,
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "jitter_ms": self.jitter_ms,
+            "final_jitter_ms": self.final_jitter_ms,
+            "max_transit_ms": self.max_transit / 1e6,
+            "throughput_mbps": self.throughput_mbps(),
+        }

@@ -1,0 +1,35 @@
+"""Per-lock-class wait-time accounting, modelled on Linux ``lockstat``.
+
+Table 4a of the paper reports average spinlock wait times per kernel
+component (page reclaim, page allocator, dentry, runqueue); this module
+collects exactly those rows.
+"""
+
+from .latency import LatencyStat
+
+
+class LockStat:
+    """Wait-time statistics keyed by lock class name."""
+
+    def __init__(self):
+        self._classes = {}
+
+    def record_wait(self, lock_class, wait_ns):
+        stat = self._classes.get(lock_class)
+        if stat is None:
+            stat = LatencyStat(name=lock_class)
+            self._classes[lock_class] = stat
+        stat.record(wait_ns)
+
+    def stat(self, lock_class):
+        return self._classes.get(lock_class)
+
+    def classes(self):
+        return sorted(self._classes)
+
+    def mean_wait_us(self, lock_class):
+        stat = self._classes.get(lock_class)
+        return (stat.mean / 1000.0) if stat else 0.0
+
+    def snapshot(self):
+        return {name: stat.snapshot() for name, stat in self._classes.items()}

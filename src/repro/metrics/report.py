@@ -1,0 +1,41 @@
+"""Plain-text table rendering for experiment output.
+
+Benches print paper-style tables through :func:`render_table`; keeping
+the formatter here means every experiment reports consistently.
+"""
+
+
+def _fmt_cell(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return "%.1f" % value
+        if abs(value) >= 1:
+            return "%.2f" % value
+        return "%.4f" % value
+    return str(value)
+
+
+def render_table(headers, rows, title=None):
+    """Render an aligned ASCII table; ``rows`` are sequences matching
+    ``headers``."""
+    str_rows = [[_fmt_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ratio(new, old):
+    """Safe ratio ``new/old`` (0 when the base is 0)."""
+    return new / old if old else 0.0

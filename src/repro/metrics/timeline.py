@@ -1,0 +1,104 @@
+"""Time-series sampling of simulation state.
+
+A :class:`TimelineSampler` runs as a simulation process and records
+named probes at a fixed period — micro-pool size over time, per-domain
+runnable/blocked counts, pCPU busyness. Used by the adaptive-sizing
+example and by tests that assert *trajectories* rather than end states.
+"""
+
+from ..sim.time import ms
+
+
+class Series:
+    """One sampled series: parallel (time, value) lists."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name):
+        self.name = name
+        self.times = []
+        self.values = []
+
+    def append(self, time, value):
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self):
+        return len(self.values)
+
+    def last(self):
+        return self.values[-1] if self.values else None
+
+    def max(self):
+        return max(self.values) if self.values else None
+
+    def min(self):
+        return min(self.values) if self.values else None
+
+    def mean(self):
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def changes(self):
+        """(time, new_value) at every transition."""
+        out = []
+        previous = object()
+        for time, value in zip(self.times, self.values):
+            if value != previous:
+                out.append((time, value))
+                previous = value
+        return out
+
+
+class TimelineSampler:
+    """Periodic sampler of named probes.
+
+    Probes are ``name -> zero-arg callable``; each period the sampler
+    records every probe's current value. Start it *after*
+    ``hv.start()`` so the first sample sees a live system.
+    """
+
+    def __init__(self, sim, period=None):
+        self.sim = sim
+        self.period = ms(5) if period is None else period
+        self._probes = {}
+        self.series = {}
+        self._proc = None
+
+    def probe(self, name, fn):
+        self._probes[name] = fn
+        self.series[name] = Series(name)
+        return self
+
+    def start(self):
+        if self._proc is None:
+            self._proc = self.sim.process(self._loop(), name="timeline-sampler")
+        return self
+
+    def _loop(self):
+        while True:
+            now = self.sim.now
+            for name, fn in self._probes.items():
+                self.series[name].append(now, fn())
+            yield self.sim.timeout(self.period)
+
+    def __getitem__(self, name):
+        return self.series[name]
+
+
+def standard_probes(sampler, hv):
+    """Attach the probes most experiments care about."""
+    sampler.probe("micro_cores", lambda: len(hv.micro_pool))
+    sampler.probe(
+        "running_vcpus",
+        lambda: sum(1 for d in hv.domains for v in d.vcpus if v.state == "running"),
+    )
+    sampler.probe(
+        "blocked_vcpus",
+        lambda: sum(1 for d in hv.domains for v in d.vcpus if v.state == "blocked"),
+    )
+    for domain in hv.domains:
+        sampler.probe(
+            "%s_runnable" % domain.name,
+            lambda d=domain: sum(1 for v in d.vcpus if v.state == "runnable"),
+        )
+    return sampler

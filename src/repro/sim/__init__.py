@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel (engine, processes, events, time)."""
+
+from .engine import FAILED, FINISHED, RUNNING, Process, Simulator
+from .events import Event, Interrupt, Timeout
+from .rng import RngHub, derive_seed
+from .time import FOREVER, MS, NS, SEC, US, fmt, ms, seconds, to_ms, to_seconds, to_us, us
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "FAILED",
+    "FINISHED",
+    "FOREVER",
+    "MS",
+    "NS",
+    "RUNNING",
+    "SEC",
+    "US",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RngHub",
+    "Simulator",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "derive_seed",
+    "fmt",
+    "ms",
+    "seconds",
+    "to_ms",
+    "to_seconds",
+    "to_us",
+    "us",
+]

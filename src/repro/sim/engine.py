@@ -1,0 +1,226 @@
+"""The discrete-event simulation core.
+
+:class:`Simulator` owns a heap of ``(time, sequence, callback)`` entries
+and a monotonically increasing clock in integer nanoseconds. On top of
+the raw callback layer, :class:`Process` runs a Python generator as a
+cooperative process: the generator yields :class:`~repro.sim.events.Event`
+objects (usually :class:`~repro.sim.events.Timeout`) and is resumed with
+the event's value. Processes can be interrupted out of a wait, which the
+pCPU executors use to model preemption, lock hand-off, and interrupt
+delivery with exact (non-polled) latency.
+"""
+
+import heapq
+import types
+
+from ..errors import SimulationError
+from .events import Event, Interrupt, Timeout
+
+
+class _Scheduled:
+    """Handle for a scheduled callback; supports O(1) cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "arg", "cancelled")
+
+    def __init__(self, time, seq, callback, arg):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.arg = arg
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+    def __lt__(self, other):
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+
+class Simulator:
+    """Event loop with an integer-nanosecond clock."""
+
+    def __init__(self):
+        self._now = 0
+        self._seq = 0
+        self._queue = []
+        self._processes = []
+        self.executed_events = 0
+
+    @property
+    def now(self):
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def schedule(self, delay, callback, arg=None):
+        """Run ``callback(arg)`` after ``delay`` ns; returns a cancellable
+        handle. Zero delays run after currently pending same-time events
+        (FIFO within a timestamp)."""
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past (delay=%r)" % delay)
+        self._seq += 1
+        entry = _Scheduled(self._now + delay, self._seq, callback, arg)
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def timeout(self, delay, value=None, name=""):
+        """Create a :class:`Timeout` event firing after ``delay`` ns."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def event(self, name=""):
+        """Create an untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def process(self, generator, name=""):
+        """Start ``generator`` as a simulation process."""
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    def run(self, until=None):
+        """Execute events until the queue is empty or the clock would pass
+        ``until`` (ns). The clock is left at ``until`` if the limit was
+        reached, else at the last executed event's time."""
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry.cancelled:
+                heapq.heappop(queue)
+                continue
+            if until is not None and entry.time > until:
+                break
+            heapq.heappop(queue)
+            self._now = entry.time
+            self.executed_events += 1
+            entry.callback(entry.arg)
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def peek(self):
+        """Time of the next pending event, or ``None`` if the queue is
+        empty. Cancelled entries are skipped."""
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return queue[0].time if queue else None
+
+
+#: Process states.
+RUNNING = "running"
+FINISHED = "finished"
+FAILED = "failed"
+
+
+class Process:
+    """A generator running as a cooperative simulation process.
+
+    The generator yields events; it is resumed with ``event.value`` when
+    the event triggers. A process is itself waitable through
+    :attr:`completed`, which carries the generator's return value.
+
+    :meth:`interrupt` throws :class:`Interrupt` into the generator at the
+    current time, cancelling whatever wait was in progress. Interrupts
+    that land while a resume is already scheduled are coalesced into one
+    :class:`Interrupt` carrying every cause.
+    """
+
+    def __init__(self, sim, generator, name=""):
+        if not isinstance(generator, types.GeneratorType):
+            raise SimulationError("process target must be a generator, got %r" % (generator,))
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self.state = RUNNING
+        self.completed = Event(sim, name="%s.completed" % self.name)
+        self.error = None
+        self._gen = generator
+        # Identifies the wait the process is currently blocked on; stale
+        # event callbacks (e.g. a timeout that fires after an interrupt
+        # already resumed us) compare against it and bail out.
+        self._wait_id = 0
+        self._pending_interrupt = None
+        self._resume_scheduled = True
+        self._begun = False
+        sim.schedule(0, self._step, (None, None))
+
+    @property
+    def alive(self):
+        return self.state == RUNNING
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        No-op on a finished process. Multiple interrupts before the
+        process next runs are coalesced (all causes preserved).
+        """
+        if not self.alive:
+            return
+        if self._pending_interrupt is not None:
+            self._pending_interrupt.add_cause(cause)
+            return
+        self._pending_interrupt = Interrupt(cause)
+        self._wait_id += 1  # invalidate the current wait
+        if not self._resume_scheduled:
+            self._resume_scheduled = True
+            self.sim.schedule(0, self._step, (None, None))
+
+    def _on_event(self, wait_id, event):
+        if wait_id != self._wait_id or not self.alive:
+            return
+        self._wait_id += 1
+        self._resume_scheduled = True
+        self._step((event.value, None))
+
+    def _step(self, payload):
+        value, _ = payload
+        self._resume_scheduled = False
+        exc = self._pending_interrupt
+        self._pending_interrupt = None
+        if exc is not None and not self._begun:
+            # A not-yet-started generator cannot catch a thrown
+            # exception; start it first and deliver the interrupt at its
+            # first yield point instead.
+            self._pending_interrupt = exc
+            exc = None
+        try:
+            self._begun = True
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(FINISHED, getattr(stop, "value", None))
+            return
+        except Interrupt as leaked:
+            # The generator chose not to handle the interrupt; treat it as
+            # a normal (non-error) termination — executors use this to
+            # unwind cleanly.
+            self._finish(FINISHED, leaked.cause)
+            return
+        except Exception as err:  # noqa: BLE001 - surfaced via .error
+            self.error = err
+            self._finish(FAILED, None)
+            raise
+        if not isinstance(target, Event):
+            raise SimulationError(
+                "process %r yielded %r; processes must yield Event objects" % (self.name, target)
+            )
+        if self._pending_interrupt is not None:
+            # An interrupt arrived before the generator's first yield;
+            # deliver it now that there is a wait to break.
+            self._wait_id += 1
+            self._resume_scheduled = True
+            self.sim.schedule(0, self._step, (None, None))
+            return
+        wait_id = self._wait_id
+        target.add_callback(lambda event, w=wait_id: self._on_event(w, event))
+
+    def _finish(self, state, value):
+        self.state = state
+        self._wait_id += 1
+        if not self.completed.triggered:
+            self.completed.trigger(value)
+
+    def __repr__(self):
+        return "<Process %s %s>" % (self.name, self.state)

@@ -1,0 +1,107 @@
+"""Waitable events for the generator-based process model.
+
+An :class:`Event` is a one-shot trigger that processes can wait on by
+yielding it. :class:`Timeout` is an event pre-armed to fire after a
+delay. Both are deliberately minimal: richer synchronisation (locks,
+IPIs, runqueues) is modelled explicitly by the hypervisor/guest layers
+rather than hidden in the engine.
+"""
+
+from ..errors import SimulationError
+
+#: Event states.
+PENDING = "pending"
+TRIGGERED = "triggered"
+
+
+class Event:
+    """A one-shot waitable value.
+
+    Processes wait by yielding the event; :meth:`trigger` resumes every
+    waiter at the current simulation time with ``value``. Triggering an
+    already-triggered event raises :class:`SimulationError` — silent
+    double-triggers hide protocol bugs in the models above.
+    """
+
+    __slots__ = ("sim", "value", "_state", "_callbacks", "name")
+
+    def __init__(self, sim, name=""):
+        self.sim = sim
+        self.value = None
+        self.name = name
+        self._state = PENDING
+        self._callbacks = []
+
+    @property
+    def triggered(self):
+        return self._state == TRIGGERED
+
+    def trigger(self, value=None):
+        """Fire the event, waking all waiters at the current time."""
+        if self._state == TRIGGERED:
+            raise SimulationError("event %r triggered twice" % (self.name,))
+        self._state = TRIGGERED
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.schedule(0, callback, self)
+        return self
+
+    def add_callback(self, callback):
+        """Register ``callback(event)``; runs immediately (as a scheduled
+        zero-delay event) if the event already fired."""
+        if self._state == TRIGGERED:
+            self.sim.schedule(0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def discard_callback(self, callback):
+        """Remove a registered callback if still pending."""
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def __repr__(self):
+        return "<Event %s %s>" % (self.name or hex(id(self)), self._state)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay", "_handle")
+
+    def __init__(self, sim, delay, value=None, name=""):
+        if delay < 0:
+            raise SimulationError("negative timeout delay %r" % (delay,))
+        super().__init__(sim, name=name or "timeout")
+        self.delay = delay
+        self._handle = sim.schedule(delay, self._fire, value)
+
+    def _fire(self, value):
+        if not self.triggered:
+            self.trigger(value)
+
+    def cancel(self):
+        """Prevent the timeout from firing (no-op if already fired)."""
+        self._handle.cancel()
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    ``cause`` is the first interrupt cause; if several interrupts land
+    before the process resumes they are coalesced and every cause is
+    available in ``causes``.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+        self.causes = [cause]
+
+    def add_cause(self, cause):
+        self.causes.append(cause)
+
+    def __repr__(self):
+        return "Interrupt(%r)" % (self.cause,)

@@ -1,0 +1,64 @@
+"""Time units for the simulator.
+
+The engine counts **integer nanoseconds**. Integers keep event ordering
+exact and make runs bit-reproducible; nanoseconds give enough headroom
+that the microsecond-scale costs used throughout the models never need
+fractions.
+"""
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+#: Sentinel for "no deadline".
+FOREVER = None
+
+
+def us(value):
+    """Convert a (possibly fractional) microsecond count to integer ns."""
+    return int(value * US)
+
+
+def ms(value):
+    """Convert a (possibly fractional) millisecond count to integer ns."""
+    return int(value * MS)
+
+
+def seconds(value):
+    """Convert a (possibly fractional) second count to integer ns."""
+    return int(value * SEC)
+
+
+def to_us(t_ns):
+    """Express integer nanoseconds as float microseconds."""
+    return t_ns / US
+
+
+def to_ms(t_ns):
+    """Express integer nanoseconds as float milliseconds."""
+    return t_ns / MS
+
+
+def to_seconds(t_ns):
+    """Express integer nanoseconds as float seconds."""
+    return t_ns / SEC
+
+
+def fmt(t_ns):
+    """Render a nanosecond timestamp with a readable unit.
+
+    >>> fmt(1_500)
+    '1.500us'
+    >>> fmt(30_000_000)
+    '30.000ms'
+    """
+    if t_ns is None:
+        return "forever"
+    if abs(t_ns) >= SEC:
+        return "%.3fs" % (t_ns / SEC)
+    if abs(t_ns) >= MS:
+        return "%.3fms" % (t_ns / MS)
+    if abs(t_ns) >= US:
+        return "%.3fus" % (t_ns / US)
+    return "%dns" % t_ns

@@ -1,0 +1,56 @@
+"""Lightweight event tracing, in the spirit of ``xentrace``.
+
+Tracing is off by default (a disabled tracer costs one attribute check
+per emit). Tests and the CLI enable it to inspect scheduling decisions,
+yields, migrations, and IRQ flow.
+"""
+
+from collections import deque
+
+from .time import fmt
+
+
+class TraceRecord:
+    __slots__ = ("time", "kind", "detail")
+
+    def __init__(self, time, kind, detail):
+        self.time = time
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self):
+        return "[%s] %s %s" % (fmt(self.time), self.kind, self.detail)
+
+
+class Tracer:
+    """Bounded in-memory trace buffer with optional kind filtering."""
+
+    def __init__(self, sim, enabled=False, capacity=100_000, kinds=None):
+        self.sim = sim
+        self.enabled = enabled
+        self.kinds = set(kinds) if kinds else None
+        self.records = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def emit(self, kind, **detail):
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if len(self.records) == self.records.maxlen:
+            self.dropped += 1
+        self.records.append(TraceRecord(self.sim.now, kind, detail))
+
+    def find(self, kind):
+        """All buffered records of ``kind``, oldest first."""
+        return [r for r in self.records if r.kind == kind]
+
+    def clear(self):
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

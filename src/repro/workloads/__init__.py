@@ -1,0 +1,42 @@
+"""Synthetic benchmark models matching the paper's workload suite."""
+
+from .base import Workload
+from .cpu_bound import (
+    CpuBoundWorkload,
+    LookbusyWorkload,
+    SpecCpuWorkload,
+    SwaptionsWorkload,
+)
+from .iperf import IperfWorkload
+from .mosbench import EximWorkload, GmakeWorkload, MemcloneWorkload, PsearchyWorkload
+from .parsec import (
+    BarrierComputeWorkload,
+    DedupWorkload,
+    TlbStormWorkload,
+    VipsWorkload,
+)
+from .registry import available, create
+from .userlock import UserLockWorkload
+from .sync import Barrier, TokenRing
+
+__all__ = [
+    "Barrier",
+    "BarrierComputeWorkload",
+    "CpuBoundWorkload",
+    "DedupWorkload",
+    "EximWorkload",
+    "GmakeWorkload",
+    "IperfWorkload",
+    "LookbusyWorkload",
+    "MemcloneWorkload",
+    "PsearchyWorkload",
+    "SpecCpuWorkload",
+    "SwaptionsWorkload",
+    "TlbStormWorkload",
+    "TokenRing",
+    "UserLockWorkload",
+    "VipsWorkload",
+    "Workload",
+    "available",
+    "create",
+]

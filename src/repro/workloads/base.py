@@ -1,0 +1,81 @@
+"""Workload abstraction.
+
+A workload synthesises the *kernel-interaction profile* of one of the
+paper's benchmarks: how often its threads compute in user space, take
+which kernel locks for how long, trigger TLB shootdowns, sleep/wake, or
+touch the network. What the real application computes is irrelevant to
+the evaluation — only this profile reaches the hypervisor.
+
+Progress is counted in work units (transactions, jobs, compute chunks);
+experiments compare unit *rates* between configurations, which is how
+the paper's "normalized execution time" and "throughput improvement"
+series are reproduced.
+
+Programs must interleave at least one ``Compute`` into every loop
+iteration — a zero-cost action loop would spin the executor without
+advancing simulated time.
+"""
+
+from ..errors import WorkloadError
+from ..guest.task import GuestTask
+
+
+class Workload:
+    """Base class for all benchmark models."""
+
+    #: Registry/scenario name; subclasses override.
+    kind = "workload"
+
+    def __init__(self, name=None):
+        self.name = name or self.kind
+        self.completed = 0.0
+        self.domain = None
+        self.tasks = []
+
+    # ------------------------------------------------------------------
+    def install(self, domain, rng_hub):
+        """Create this workload's tasks inside ``domain``. Called once
+        by the scenario builder, before the hypervisor starts."""
+        if self.domain is not None:
+            raise WorkloadError("workload %s already installed" % self.name)
+        self.domain = domain
+        domain.workloads.append(self)
+        self._build(domain, rng_hub)
+
+    def _build(self, domain, rng_hub):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def spawn(self, vcpu, program_factory, label=""):
+        """Create and register one guest task on ``vcpu``."""
+        task = GuestTask(
+            "%s.%s" % (self.name, label or str(len(self.tasks))), vcpu, program_factory
+        )
+        vcpu.guest_cpu.add_task(task)
+        self.tasks.append(task)
+        return task
+
+    def tick(self, units=1.0):
+        """Record completed work (called inline from programs)."""
+        self.completed += units
+
+    def progress(self):
+        """Total completed work units."""
+        return self.completed
+
+    def reset_progress(self):
+        """Zero the measurement state (end of a warmup phase)."""
+        self.completed = 0.0
+
+    def rate(self, duration_ns):
+        """Work units per simulated second."""
+        if duration_ns <= 0:
+            return 0.0
+        return self.progress() / (duration_ns / 1e9)
+
+    def extra_results(self):
+        """Workload-specific result payload (overridden by e.g. iperf)."""
+        return {}
+
+    def __repr__(self):
+        return "<Workload %s done=%.0f>" % (self.name, self.completed)

@@ -1,0 +1,92 @@
+"""CPU-bound workload models.
+
+``swaptions`` (the paper's fixed co-runner: highest CPU utilisation in
+PARSEC, negligible kernel time), ``lookbusy`` (the Figure 9 CPU hog),
+and the single-threaded SPEC CPU2006 applications of Figure 8. All of
+them compute in user space in chunks with only token kernel entries, so
+their progress is governed purely by pCPU share and cache warmth.
+"""
+
+from ..guest.actions import Compute
+from ..sim.time import us
+from .base import Workload
+
+
+class CpuBoundWorkload(Workload):
+    """N threads of pure user computation."""
+
+    kind = "cpu_bound"
+
+    def __init__(
+        self,
+        name=None,
+        threads=None,
+        chunk_us=1000.0,
+        chunk_jitter=0.10,
+        syscall_every=0,
+    ):
+        super().__init__(name=name)
+        self.threads = threads
+        self.chunk_ns = us(chunk_us)
+        self.chunk_jitter = chunk_jitter
+        self.syscall_every = syscall_every
+
+    def _build(self, domain, rng_hub):
+        count = self.threads if self.threads is not None else len(domain.vcpus)
+        for index in range(count):
+            vcpu = domain.vcpus[index % len(domain.vcpus)]
+            rng = rng_hub.stream("%s.%s.%d" % (domain.name, self.name, index))
+            self.spawn(vcpu, lambda r=rng, v=vcpu: self._program(domain, r), str(index))
+
+    def _program(self, domain, rng):
+        kernel = domain.kernel
+        iteration = 0
+        while True:
+            jitter = 1.0 + self.chunk_jitter * (2.0 * rng.random() - 1.0)
+            yield Compute(int(self.chunk_ns * jitter))
+            iteration += 1
+            if self.syscall_every and iteration % self.syscall_every == 0:
+                yield from kernel.syscall_overhead()
+            self.tick()
+
+
+class SwaptionsWorkload(CpuBoundWorkload):
+    """PARSEC swaptions: one thread per vCPU, ~1 ms user chunks."""
+
+    kind = "swaptions"
+
+    def __init__(self, name=None, threads=None):
+        super().__init__(name=name, threads=threads, chunk_us=1000.0)
+
+
+class LookbusyWorkload(CpuBoundWorkload):
+    """lookbusy: a single thread that never blocks (Figure 9's hog)."""
+
+    kind = "lookbusy"
+
+    def __init__(self, name=None):
+        super().__init__(name=name, threads=1, chunk_us=500.0, chunk_jitter=0.0)
+
+
+class SpecCpuWorkload(CpuBoundWorkload):
+    """A SPEC CPU2006 component: single-threaded, user-dominated, with a
+    sparse sprinkle of system calls (I/O of the reference inputs)."""
+
+    kind = "speccpu"
+
+    def __init__(self, name=None, chunk_us=2000.0):
+        super().__init__(
+            name=name, threads=1, chunk_us=chunk_us, chunk_jitter=0.05, syscall_every=8
+        )
+
+
+def perlbench(name="perlbench"):
+    return SpecCpuWorkload(name=name, chunk_us=1800.0)
+
+
+def sjeng(name="sjeng"):
+    return SpecCpuWorkload(name=name, chunk_us=2200.0)
+
+
+def bzip2(name="bzip2"):
+    return SpecCpuWorkload(name=name, chunk_us=2000.0)

@@ -1,0 +1,167 @@
+"""iPerf workload: an external traffic source driving the guest RX
+stack.
+
+The client is *not* a guest — it models the remote load generator on
+the paper's 1 GbE testbed, so it runs as a plain simulation process.
+
+* TCP mode: a fixed window of unacknowledged bytes; the client sends at
+  line rate while the window is open and stalls otherwise, so achieved
+  throughput is set by how quickly the guest's vIRQ → softirq → app
+  pipeline turns data around (the paper's Table 4c / Figure 9
+  mechanism).
+* UDP mode: constant-rate sends, no acks; drops happen at the NIC ring.
+
+Jitter is the RFC 1889 estimate computed where the *application*
+consumes data, matching what iperf reports.
+"""
+
+from ..errors import WorkloadError
+from ..hw.nic import Nic, Packet
+from ..metrics.jitter import FlowMetrics
+from ..sim.time import us
+from ..guest.actions import Compute, Emit, Sleep
+from .base import Workload
+
+#: 1 Gbit/s line rate expressed as ns per byte.
+GIGABIT_NS_PER_BYTE = 8.0
+
+
+class IperfWorkload(Workload):
+    """iPerf server task + external client process."""
+
+    kind = "iperf"
+
+    def __init__(
+        self,
+        name=None,
+        mode="tcp",
+        unit_bytes=16 * 1024,
+        window_bytes=256 * 1024,
+        udp_rate_mbps=800.0,
+        wire_latency_us=20.0,
+        server_vcpu=0,
+        app_cost_per_unit_us=2.0,
+        ring_size=64,
+        duration_ns=None,
+    ):
+        super().__init__(name=name)
+        if mode not in ("tcp", "udp"):
+            raise WorkloadError("iperf mode must be tcp or udp, got %r" % mode)
+        self.mode = mode
+        self.unit_bytes = unit_bytes
+        self.window_bytes = window_bytes
+        self.udp_rate_mbps = udp_rate_mbps
+        self.wire_latency = us(wire_latency_us)
+        self.server_vcpu = server_vcpu
+        self.app_cost = us(app_cost_per_unit_us)
+        self.ring_size = ring_size
+        self.duration_ns = duration_ns
+        self.flow = None
+        self.nic = None
+        self.socket = None
+        self._inflight = 0
+        self._blocked = None
+        self._seq = 0
+        self._sim = None
+
+    # ------------------------------------------------------------------
+    def _build(self, domain, rng_hub):
+        hv = domain.hv
+        sim = hv.sim
+        self._sim = sim
+        flow_name = "%s.%s" % (domain.name, self.name)
+        self.flow = FlowMetrics(name=flow_name)
+        self.nic = Nic(sim, name="nic:%s" % flow_name, ring_size=self.ring_size)
+        hv.attach_nic(self.nic, domain)
+        if domain.kernel.net is None:
+            domain.kernel.attach_netstack(self.nic, irq_vcpu_index=self.server_vcpu)
+        self.socket = domain.kernel.net.socket(flow_name)
+        vcpu = domain.vcpus[self.server_vcpu]
+        self.spawn(vcpu, lambda: self._server(), "server")
+        if self.mode == "tcp":
+            sim.process(self._client_tcp(), name="%s.client" % flow_name)
+        else:
+            sim.process(self._client_udp(), name="%s.client" % flow_name)
+
+    # ------------------------------------------------------------------
+    # external client
+    # ------------------------------------------------------------------
+    def _line_gap(self):
+        return int(self.unit_bytes * GIGABIT_NS_PER_BYTE)
+
+    def _send_packet(self, sim):
+        self._seq += 1
+        packet = Packet(self.flow.name, self.unit_bytes, self._seq, sim.now)
+        sim.schedule(self.wire_latency, lambda _a, p=packet: self.nic.receive(p))
+
+    def _client_tcp(self):
+        sim = self._sim
+        while True:
+            if self.duration_ns is not None and sim.now >= self.duration_ns:
+                return
+            if self._inflight + self.unit_bytes <= self.window_bytes:
+                self._inflight += self.unit_bytes
+                self._send_packet(sim)
+                yield sim.timeout(self._line_gap())
+            else:
+                self._blocked = sim.event(name="iperf.window")
+                yield self._blocked
+                self._blocked = None
+
+    def _client_udp(self):
+        sim = self._sim
+        gap = max(
+            self._line_gap(),
+            int(self.unit_bytes * 8.0 / (self.udp_rate_mbps * 1e6) * 1e9),
+        )
+        while True:
+            if self.duration_ns is not None and sim.now >= self.duration_ns:
+                return
+            self._send_packet(sim)
+            yield sim.timeout(gap)
+
+    def _on_ack(self, nbytes):
+        self._inflight = max(0, self._inflight - nbytes)
+        if self._blocked is not None and not self._blocked.triggered:
+            self._blocked.trigger()
+
+    # ------------------------------------------------------------------
+    # guest-side server task
+    # ------------------------------------------------------------------
+    def _server(self):
+        sock = self.socket
+        while True:
+            yield Sleep(sock.waitq)
+            packets = sock.take()
+            if not packets:
+                continue
+            yield Compute(self.app_cost * len(packets))
+
+            def _consume(now, batch=packets):
+                total = 0
+                for packet in batch:
+                    self.flow.on_delivery(now, packet.sent_at, packet.size)
+                    total += packet.size
+                if self.mode == "tcp":
+                    self._on_ack(total)
+                self.tick(len(batch))
+
+            yield Emit(_consume, cost=us(0.5), symbol="do_syscall_64")
+
+    # ------------------------------------------------------------------
+    def reset_progress(self):
+        super().reset_progress()
+        if self.flow is not None:
+            self.flow = FlowMetrics(name=self.flow.name)
+        if self.nic is not None:
+            self.nic.dropped = 0
+
+    def extra_results(self):
+        return {
+            "throughput_mbps": self.flow.throughput_mbps() if self.flow else 0.0,
+            "jitter_ms": self.flow.jitter_ms if self.flow else 0.0,
+            "final_jitter_ms": self.flow.final_jitter_ms if self.flow else 0.0,
+            "max_transit_ms": (self.flow.max_transit / 1e6) if self.flow else 0.0,
+            "packets": self.flow.packets if self.flow else 0,
+            "dropped": self.nic.dropped if self.nic else 0,
+        }

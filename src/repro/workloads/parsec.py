@@ -1,0 +1,148 @@
+"""PARSEC workload models.
+
+* **dedup** and **vips** manage a shared address space with intense
+  ``mmap``/``munmap`` traffic — every unmap is a TLB shootdown across
+  all active sibling vCPUs (the paper: dedup spends 89% of co-run
+  cycles waiting for shootdown acks). dedup additionally has pipeline
+  stages that sleep/wake, producing the halt yields visible in
+  Figure 7.
+* **blackscholes**, **bodytrack**, **streamcluster**, **raytrace** are
+  the Figure 8 "unaffected" apps: user-dominated compute with periodic
+  barriers.
+"""
+
+from ..guest import mm
+from ..guest.actions import Compute
+from ..sim.time import us
+from .base import Workload
+from .mosbench import _expovariate
+from .sync import Barrier, TokenRing
+
+
+class TlbStormWorkload(Workload):
+    """Shared-address-space threads whose unmaps shoot down TLBs."""
+
+    kind = "tlb_storm"
+
+    def __init__(
+        self,
+        name=None,
+        threads=None,
+        user_us=250.0,
+        flush_every=2,
+        pipeline_every=12,
+        map_hold_us=3.0,
+    ):
+        super().__init__(name=name)
+        self.threads = threads
+        self.user_ns = us(user_us)
+        self.flush_every = flush_every
+        self.pipeline_every = pipeline_every
+        self.map_hold_ns = us(map_hold_us)
+        self.ring = None
+
+    def _build(self, domain, rng_hub):
+        count = self.threads if self.threads is not None else len(domain.vcpus)
+        if self.pipeline_every:
+            self.ring = TokenRing(count, name="%s.ring" % self.name)
+        for index in range(count):
+            vcpu = domain.vcpus[index % len(domain.vcpus)]
+            rng = rng_hub.stream("%s.%s.%d" % (domain.name, self.name, index))
+            self.spawn(
+                vcpu,
+                lambda r=rng, i=index: self._thread(domain, r, i),
+                str(index),
+            )
+
+    def _thread(self, domain, rng, index):
+        kernel = domain.kernel
+        iteration = 0
+        while True:
+            yield Compute(_expovariate(rng, self.user_ns))
+            iteration += 1
+            if iteration % self.flush_every == 0:
+                # Window rotation: unmap the previous chunk (shootdown)
+                # and map the next one.
+                yield from mm.munmap(kernel, hold_ns=self.map_hold_ns)
+                yield from mm.mmap(kernel, hold_ns=self.map_hold_ns)
+            if self.pipeline_every and iteration % self.pipeline_every == 0:
+                yield from self.ring.pass_token(index)
+            self.tick()
+
+
+class DedupWorkload(TlbStormWorkload):
+    """PARSEC dedup (native input): heaviest shootdown pressure plus a
+    sleep/wake pipeline."""
+
+    kind = "dedup"
+
+    def __init__(self, name=None, threads=None):
+        super().__init__(
+            name=name,
+            threads=threads,
+            user_us=220.0,
+            flush_every=2,
+            pipeline_every=3,
+        )
+
+
+class VipsWorkload(TlbStormWorkload):
+    """PARSEC vips: milder shootdown rate, fewer sleeps."""
+
+    kind = "vips"
+
+    def __init__(self, name=None, threads=None):
+        super().__init__(
+            name=name,
+            threads=threads,
+            user_us=350.0,
+            flush_every=5,
+            pipeline_every=0,
+        )
+
+
+class BarrierComputeWorkload(Workload):
+    """User-dominated data-parallel app with periodic barriers (the
+    Figure 8 PARSEC apps)."""
+
+    kind = "barrier_compute"
+
+    def __init__(self, name=None, threads=None, chunk_us=1500.0, barrier_every=30):
+        super().__init__(name=name)
+        self.threads = threads
+        self.chunk_ns = us(chunk_us)
+        self.barrier_every = barrier_every
+        self.barrier = None
+
+    def _build(self, domain, rng_hub):
+        count = self.threads if self.threads is not None else len(domain.vcpus)
+        self.barrier = Barrier(count, name="%s.barrier" % self.name)
+        for index in range(count):
+            vcpu = domain.vcpus[index % len(domain.vcpus)]
+            rng = rng_hub.stream("%s.%s.%d" % (domain.name, self.name, index))
+            self.spawn(vcpu, lambda r=rng: self._thread(domain, r), str(index))
+
+    def _thread(self, domain, rng):
+        iteration = 0
+        while True:
+            yield Compute(_expovariate(rng, self.chunk_ns))
+            iteration += 1
+            if self.barrier_every and iteration % self.barrier_every == 0:
+                yield from self.barrier.arrive()
+            self.tick()
+
+
+def blackscholes(name="blackscholes"):
+    return BarrierComputeWorkload(name=name, chunk_us=1800.0, barrier_every=40)
+
+
+def bodytrack(name="bodytrack"):
+    return BarrierComputeWorkload(name=name, chunk_us=1200.0, barrier_every=25)
+
+
+def streamcluster(name="streamcluster"):
+    return BarrierComputeWorkload(name=name, chunk_us=900.0, barrier_every=20)
+
+
+def raytrace(name="raytrace"):
+    return BarrierComputeWorkload(name=name, chunk_us=2000.0, barrier_every=50)

@@ -1,0 +1,75 @@
+"""Name → workload factory registry.
+
+Scenarios and the CLI refer to workloads by the paper's benchmark
+names; this registry instantiates the matching model with its calibrated
+defaults. Factories accept an optional ``name`` plus model-specific
+keyword overrides.
+"""
+
+from ..errors import ConfigError
+from .cpu_bound import (
+    CpuBoundWorkload,
+    LookbusyWorkload,
+    SpecCpuWorkload,
+    SwaptionsWorkload,
+    bzip2,
+    perlbench,
+    sjeng,
+)
+from .iperf import IperfWorkload
+from .mosbench import EximWorkload, GmakeWorkload, MemcloneWorkload, PsearchyWorkload
+from .userlock import UserLockWorkload
+from .parsec import (
+    BarrierComputeWorkload,
+    DedupWorkload,
+    TlbStormWorkload,
+    VipsWorkload,
+    blackscholes,
+    bodytrack,
+    raytrace,
+    streamcluster,
+)
+
+_FACTORIES = {
+    "swaptions": SwaptionsWorkload,
+    "lookbusy": LookbusyWorkload,
+    "cpu_bound": CpuBoundWorkload,
+    "speccpu": SpecCpuWorkload,
+    "perlbench": perlbench,
+    "sjeng": sjeng,
+    "bzip2": bzip2,
+    "exim": EximWorkload,
+    "gmake": GmakeWorkload,
+    "psearchy": PsearchyWorkload,
+    "memclone": MemcloneWorkload,
+    "dedup": DedupWorkload,
+    "vips": VipsWorkload,
+    "tlb_storm": TlbStormWorkload,
+    "blackscholes": blackscholes,
+    "bodytrack": bodytrack,
+    "streamcluster": streamcluster,
+    "raytrace": raytrace,
+    "barrier_compute": BarrierComputeWorkload,
+    "iperf": IperfWorkload,
+    "ulock": UserLockWorkload,
+    "iperf_tcp": lambda **kw: IperfWorkload(mode="tcp", **kw),
+    "iperf_udp": lambda **kw: IperfWorkload(mode="udp", **kw),
+}
+
+
+def available():
+    """Sorted list of registered workload names."""
+    return sorted(_FACTORIES)
+
+
+def create(kind, **kwargs):
+    """Instantiate the workload registered under ``kind``."""
+    factory = _FACTORIES.get(kind)
+    if factory is None:
+        raise ConfigError(
+            "unknown workload %r (available: %s)" % (kind, ", ".join(available()))
+        )
+    workload = factory(**kwargs)
+    if workload.name in ("workload", workload.kind) and "name" not in kwargs:
+        workload.name = kind
+    return workload

@@ -1,0 +1,45 @@
+"""Synchronisation helpers used by workload programs."""
+
+from ..guest.actions import Sleep, Wake
+from ..guest.waitqueue import WaitQueue
+
+
+class Barrier:
+    """An N-party barrier built from a wait queue: the last arriver
+    wakes everyone (one reschedule IPI per remote sleeper — the SMP
+    wakeup traffic multi-threaded PARSEC apps generate)."""
+
+    def __init__(self, parties, name="barrier"):
+        self.parties = parties
+        self.waitq = WaitQueue(name=name)
+        self._arrived = 0
+        self.generations = 0
+
+    def arrive(self, sync=False):
+        """``yield from`` this inside a task program."""
+        self._arrived += 1
+        if self._arrived < self.parties:
+            yield Sleep(self.waitq)
+        else:
+            self._arrived = 0
+            self.generations += 1
+            for _ in range(self.parties - 1):
+                yield Wake(self.waitq, sync=sync)
+
+
+class TokenRing:
+    """A ring of wait queues with one circulating token per stage; gives
+    pipeline workloads (dedup's stages) periodic sleep/wake behaviour
+    without ever deadlocking."""
+
+    def __init__(self, stages, name="ring", tokens_per_stage=1):
+        self.queues = [WaitQueue(name="%s.%d" % (name, i)) for i in range(stages)]
+        for queue in self.queues:
+            for _ in range(tokens_per_stage):
+                queue.pop_sleeper()  # banks a token
+
+    def pass_token(self, stage, sync=False):
+        """Wake the next stage, then wait for our own token."""
+        nxt = (stage + 1) % len(self.queues)
+        yield Wake(self.queues[nxt], sync=sync)
+        yield Sleep(self.queues[stage])

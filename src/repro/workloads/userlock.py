@@ -1,0 +1,70 @@
+"""A user-space-lock workload for the §4.4 extension.
+
+Threads serialize on a process-level mutex (pthread-mutex style:
+user-space fast path, kernel sleep on contention — modelled with the
+same queue/park machinery as kernel locks, but with the critical
+section's instruction pointer in *user* space). The baseline scheme is
+blind to it: a preempted holder's IP resolves to no kernel symbol, so
+nothing is accelerated. With the application's critical region
+registered (``enable_user_critical`` + ``registry.register``), the
+user-aware detector recognises and accelerates it.
+"""
+
+from ..core.usercrit import enable_user_critical
+from ..guest.actions import Compute
+from ..guest.spinlock import LockClass
+from ..sim.time import us
+from .base import Workload
+from .mosbench import _expovariate
+
+
+class UserLockWorkload(Workload):
+    """N threads contending on one registered user-level mutex.
+
+    With ``background=True`` (default) every hosting vCPU also runs a
+    compute task, so the VM consumes its full CPU share: its vCPUs go
+    OVER and get preempted at scheduler ticks like any busy guest —
+    sometimes inside the user critical section. That is the
+    lock-holder-preemption exposure the §4.4 extension targets (a VM
+    whose lock threads merely park would never have a holder caught
+    off-CPU)."""
+
+    kind = "ulock"
+
+    def __init__(self, name=None, threads=None, user_us=80.0, hold_us=4.0,
+                 region="ulock_cs", background=True):
+        super().__init__(name=name)
+        self.threads = threads
+        self.user_ns = us(user_us)
+        self.hold_ns = us(hold_us)
+        self.region = region
+        self.background = background
+        self.lock = None
+
+    def _build(self, domain, rng_hub):
+        registry = enable_user_critical(domain)
+        registry.register(self.region)
+        symbol = "user:%s" % self.region
+        lock_class = LockClass(
+            "user_mutex", symbol, symbol, user_level=True, spin_symbol=None
+        )
+        self.lock = domain.kernel.lock(lock_class)
+        count = self.threads if self.threads is not None else len(domain.vcpus)
+        for index in range(count):
+            vcpu = domain.vcpus[index % len(domain.vcpus)]
+            rng = rng_hub.stream("%s.%s.%d" % (domain.name, self.name, index))
+            self.spawn(vcpu, lambda r=rng: self._thread(domain, r), str(index))
+            if self.background:
+                bg_rng = rng_hub.stream("%s.%s.bg%d" % (domain.name, self.name, index))
+                self.spawn(vcpu, lambda r=bg_rng: self._background(r), "bg%d" % index)
+
+    def _thread(self, domain, rng):
+        kernel = domain.kernel
+        while True:
+            yield Compute(_expovariate(rng, self.user_ns))
+            yield from kernel.lock_section(self.lock, self.hold_ns)
+            self.tick()
+
+    def _background(self, rng):
+        while True:
+            yield Compute(_expovariate(rng, us(500)))

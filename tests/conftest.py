@@ -1,0 +1,6 @@
+"""Test configuration: make tests/ importable (helpers module)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,58 @@
+"""Shared fixtures/builders for the test suite."""
+
+from repro.guest.actions import Compute
+from repro.guest.task import GuestTask
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.sim.engine import Simulator
+from repro.sim.time import ms, us
+
+
+def make_hv(num_pcpus=4, **kwargs):
+    """A hypervisor on a fresh simulator (not started)."""
+    sim = Simulator()
+    hv = Hypervisor(sim, num_pcpus=num_pcpus, **kwargs)
+    return sim, hv
+
+
+def make_domain(hv, name="vm", vcpus=2, weight=256):
+    return hv.create_domain(name, vcpus, weight=weight)
+
+
+def spawn_task(vcpu, program_factory, name="task"):
+    """Create + register a guest task on a vCPU."""
+    task = GuestTask(name, vcpu, program_factory)
+    vcpu.guest_cpu.add_task(task)
+    return task
+
+
+def spin_program(chunk_us=100.0, symbol=None):
+    """An endless compute loop."""
+
+    def factory():
+        def gen():
+            while True:
+                yield Compute(us(chunk_us), symbol=symbol)
+
+        return gen()
+
+    return factory
+
+
+def counted_compute(counter, chunk_us=50.0):
+    """Endless compute that bumps ``counter['n']`` per completed chunk."""
+
+    def factory():
+        def gen():
+            while True:
+                yield Compute(us(chunk_us))
+                counter["n"] += 1
+
+        return gen()
+
+    return factory
+
+
+def start_and_run(sim, hv, duration_ms=10):
+    hv.start()
+    sim.run(until=ms(duration_ms))
+    return sim.now

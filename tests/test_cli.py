@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_policy, build_parser, main
+from repro.core.policy import BASELINE, DYNAMIC, STATIC
+from repro.errors import ReproError
+
+
+class TestPolicyParsing:
+    def test_baseline(self):
+        assert _parse_policy("baseline").mode == BASELINE
+
+    def test_static(self):
+        spec = _parse_policy("static:3")
+        assert spec.mode == STATIC
+        assert spec.micro_cores == 3
+
+    def test_dynamic(self):
+        assert _parse_policy("dynamic").mode == DYNAMIC
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ReproError):
+            _parse_policy("turbo")
+
+    def test_static_without_count_rejected(self):
+        with pytest.raises((ReproError, ValueError)):
+            _parse_policy("static:")
+
+
+class TestParser:
+    def test_commands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["run", "table2"],
+            ["corun", "gmake", "--policy", "static:1"],
+            ["solo", "exim"],
+        ):
+            assert parser.parse_args(argv) is not None
+
+    def test_unknown_experiment_rejected_by_argparse(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "fig99"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "swaptions" in out
+
+    def test_solo_run(self, capsys):
+        assert main(["solo", "swaptions", "--duration-ms", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "swaptions" in out
+        assert "yields by cause" in out
+
+    def test_corun_with_policy(self, capsys):
+        assert main(
+            ["corun", "gmake", "--policy", "static:1", "--duration-ms", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vm1:gmake" in out
+        assert "micro-sliced cores at end: 1" in out
+
+    def test_bad_policy_reports_error(self, capsys):
+        code = main(["corun", "gmake", "--policy", "warp9", "--duration-ms", "10"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSweepAndCompare:
+    def test_sweep_prints_table(self, capsys):
+        assert main(["sweep", "gmake", "--max-cores", "1", "--duration-ms", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Micro-sliced core sweep" in out
+        assert "vs baseline" in out
+
+    def test_compare_prints_three_policies(self, capsys):
+        assert main(["compare", "gmake", "--duration-ms", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "static:1" in out
+        assert "dynamic" in out

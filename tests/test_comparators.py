@@ -1,0 +1,115 @@
+"""Tests for the prior-work comparator policies and micro-pool
+residency."""
+
+from repro.core.comparators import VTrsPolicy, VTurboPolicy
+from repro.experiments.scenarios import corun_scenario, mixed_io_scenario
+from repro.sim.time import ms
+
+from helpers import make_domain, make_hv, spawn_task, spin_program
+
+
+class TestResidency:
+    def test_resident_vcpu_stays_in_micro_pool(self):
+        sim, hv = make_hv(num_pcpus=3)
+        domain = make_domain(hv, vcpus=1)
+        spawn_task(domain.vcpus[0], spin_program(chunk_us=10))
+        hv.start()
+        hv.set_micro_cores(1)
+        sim.run(until=ms(2))
+        vcpu = domain.vcpus[0]
+        assert hv.make_micro_resident(vcpu)
+        # A running vCPU is pulled over at its next deschedule (up to a
+        # full 30 ms normal slice away).
+        sim.run(until=sim.now + ms(70))
+        # Through many 100 us slices it never bounced home.
+        assert vcpu.pool is hv.micro_pool
+        assert vcpu.micro_resident
+        assert vcpu.total_ran > ms(1)
+
+    def test_release_returns_vcpu_to_normal_pool(self):
+        sim, hv = make_hv(num_pcpus=3)
+        domain = make_domain(hv, vcpus=1)
+        spawn_task(domain.vcpus[0], spin_program(chunk_us=10))
+        hv.start()
+        hv.set_micro_cores(1)
+        sim.run(until=ms(2))
+        vcpu = domain.vcpus[0]
+        hv.make_micro_resident(vcpu)
+        sim.run(until=sim.now + ms(70))
+        hv.release_micro_resident(vcpu)
+        sim.run(until=sim.now + ms(5))
+        assert vcpu.pool is hv.normal_pool
+        assert not vcpu.micro_resident
+
+    def test_resident_blocked_vcpu_wakes_into_micro_pool(self):
+        sim, hv = make_hv(num_pcpus=3)
+        domain = make_domain(hv, vcpus=1)
+        hv.start()
+        hv.set_micro_cores(1)
+        sim.run(until=ms(2))  # idle guest blocks
+        vcpu = domain.vcpus[0]
+        assert vcpu.state == "blocked"
+        hv.make_micro_resident(vcpu)
+        hv.wake_vcpu(vcpu)
+        assert vcpu.pool is hv.micro_pool
+
+
+class TestVTurbo:
+    def test_pins_io_vcpu_to_turbo_core(self):
+        scenario = mixed_io_scenario(seed=1)
+        system = scenario.build()
+        system.hv.set_policy(VTurboPolicy(turbo_cores=1))
+        system.run(ms(50))
+        io_vcpu = system.hv.domains[0].kernel.net.irq_vcpu
+        assert io_vcpu.micro_resident
+
+    def test_improves_mixed_io_throughput(self):
+        base = mixed_io_scenario(seed=1).build()
+        base_io = base.run(ms(200), warmup_ns=ms(100)).workload("iperf").extra
+
+        turbo = mixed_io_scenario(seed=1).build()
+        turbo.hv.set_policy(VTurboPolicy(turbo_cores=1))
+        turbo_io = turbo.run(ms(200), warmup_ns=ms(100)).workload("iperf").extra
+        assert turbo_io["throughput_mbps"] > base_io["throughput_mbps"]
+
+    def test_no_help_without_nics(self):
+        system = corun_scenario("exim", seed=1).build()
+        system.hv.set_policy(VTurboPolicy(turbo_cores=1))
+        system.run(ms(50))
+        assert system.hv.stats.counters.get("migrations") == 0
+        assert not any(
+            v.micro_resident for d in system.hv.domains for v in d.vcpus
+        )
+
+
+class TestVTrs:
+    def test_classifies_noisy_vcpus_short(self):
+        system = corun_scenario("vips", seed=1).build()
+        policy = VTrsPolicy(pool_cores=2, epoch=ms(20), short_threshold=10)
+        system.hv.set_policy(policy)
+        system.run(ms(200))
+        assert policy.classifications, "no vCPU was ever classified short"
+        assert any(label == "short" for _t, _n, label in policy.classifications)
+
+    def test_quiet_system_classifies_nothing(self):
+        system = corun_scenario("swaptions", corunner_kind="swaptions", seed=1).build()
+        policy = VTrsPolicy(pool_cores=1, epoch=ms(20), short_threshold=10)
+        system.hv.set_policy(policy)
+        system.run(ms(100))
+        assert not any(label == "short" for _t, _n, label in policy.classifications)
+
+    def test_reclassification_releases_idle_vcpus(self):
+        sim, hv = make_hv(num_pcpus=3)
+        domain = make_domain(hv, vcpus=2)
+        for vcpu in domain.vcpus:
+            spawn_task(vcpu, spin_program())
+        policy = VTrsPolicy(pool_cores=1, epoch=ms(10), short_threshold=5)
+        hv.set_policy(policy)
+        hv.start()
+        # Synthesise one noisy epoch, then silence.
+        for _ in range(20):
+            policy.on_yield(domain.vcpus[0], "spinlock", None)
+        sim.run(until=ms(15))
+        assert domain.vcpus[0].micro_resident
+        sim.run(until=ms(40))
+        assert not domain.vcpus[0].micro_resident

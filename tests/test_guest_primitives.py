@@ -1,0 +1,185 @@
+"""Tests for guest primitives: actions, wait queues, tasks, contexts."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.guest.actions import (
+    Acquire,
+    Compute,
+    Emit,
+    GYield,
+    Release,
+    Shootdown,
+    Sleep,
+    SmpCallSingle,
+    Wake,
+)
+from repro.guest.spinlock import PAGE_ALLOC, SpinLock
+from repro.guest.task import EXITED, RUNNABLE, ExecContext, GuestTask
+from repro.guest.waitqueue import WaitQueue
+
+
+class TestActions:
+    def test_compute_tracks_remaining(self):
+        action = Compute(1_000)
+        action.consume(400)
+        assert action.remaining == 600
+        assert not action.done
+        action.consume(600)
+        assert action.done
+
+    def test_compute_overconsume_clamps(self):
+        action = Compute(100)
+        action.consume(1_000)
+        assert action.remaining == 0
+        assert action.done
+
+    def test_compute_negative_duration_rejected(self):
+        with pytest.raises(WorkloadError):
+            Compute(-1)
+
+    def test_compute_user_vs_kernel(self):
+        assert Compute(10).user
+        assert not Compute(10, symbol="irq_enter").user
+
+    def test_acquire_symbol_is_spin_slowpath(self):
+        lock = SpinLock("l", PAGE_ALLOC)
+        assert Acquire(lock).symbol == "native_queued_spin_lock_slowpath"
+
+    def test_release_symbol_comes_from_lock_class(self):
+        lock = SpinLock("l", PAGE_ALLOC)
+        assert Release(lock).symbol == PAGE_ALLOC.unlock_symbol
+
+    def test_shootdown_symbol(self):
+        assert Shootdown().symbol == "smp_call_function_many"
+
+    def test_smp_call_symbol(self):
+        assert SmpCallSingle().symbol == "smp_call_function_single"
+
+    def test_wake_defaults_async(self):
+        assert not Wake(WaitQueue()).sync
+
+    def test_emit_carries_callable(self):
+        seen = []
+        action = Emit(seen.append, cost=5, symbol="irq_exit")
+        action.fn(123)
+        assert seen == [123]
+        assert action.cost == 5
+        assert action.symbol == "irq_exit"
+
+    def test_actions_start_not_done(self):
+        lock = SpinLock("l", PAGE_ALLOC)
+        for action in (Compute(1), Acquire(lock), Release(lock), Shootdown(),
+                       Sleep(WaitQueue()), Wake(WaitQueue()), GYield(), Emit(lambda n: None)):
+            assert not action.done
+
+
+class TestWaitQueue:
+    def test_banked_wakeup_consumed_before_sleep(self):
+        queue = WaitQueue()
+        assert queue.pop_sleeper() is None   # banks a token
+        assert queue.banked == 1
+        assert queue.try_consume()
+        assert queue.banked == 0
+
+    def test_try_consume_empty(self):
+        assert not WaitQueue().try_consume()
+
+    def test_fifo_sleeper_order(self):
+        queue = WaitQueue()
+        queue.add_sleeper("a")
+        queue.add_sleeper("b")
+        assert queue.pop_sleeper() == "a"
+        assert queue.pop_sleeper() == "b"
+
+    def test_pop_prefers_sleeper_over_banking(self):
+        queue = WaitQueue()
+        queue.add_sleeper("t")
+        assert queue.pop_sleeper() == "t"
+        assert queue.banked == 0
+
+    def test_discard_sleeper(self):
+        queue = WaitQueue()
+        queue.add_sleeper("t")
+        queue.discard_sleeper("t")
+        assert queue.waiting == 0
+        queue.discard_sleeper("t")  # idempotent
+
+    def test_wake_all_drains_without_banking(self):
+        queue = WaitQueue()
+        queue.add_sleeper("a")
+        queue.add_sleeper("b")
+        assert queue.wake_all() == ["a", "b"]
+        assert queue.banked == 0
+
+    def test_token_conservation(self):
+        queue = WaitQueue()
+        for _ in range(5):
+            queue.pop_sleeper()
+        consumed = sum(1 for _ in range(10) if queue.try_consume())
+        assert consumed == 5
+
+
+class TestExecContext:
+    def _ctx(self, actions):
+        def gen():
+            for action in actions:
+                yield action
+
+        return ExecContext(gen())
+
+    def test_peek_returns_current_until_done(self):
+        first = Compute(10)
+        ctx = self._ctx([first, Compute(20)])
+        assert ctx.peek() is first
+        assert ctx.peek() is first
+        first.done = True
+        assert ctx.peek() is not first
+
+    def test_exhaustion(self):
+        only = Compute(10)
+        ctx = self._ctx([only])
+        ctx.peek().done = True
+        assert ctx.peek() is None
+        assert ctx.exhausted
+        assert ctx.peek() is None  # stable
+
+    def test_non_action_yield_rejected(self):
+        def bad():
+            yield "not an action"
+
+        ctx = ExecContext(bad())
+        with pytest.raises(WorkloadError):
+            ctx.peek()
+
+
+class _FakeVcpu:
+    def __init__(self):
+        self.guest_cpu = None
+
+
+class TestGuestTask:
+    def _task(self):
+        vcpu = _FakeVcpu()
+
+        def program():
+            yield Compute(10)
+
+        return GuestTask("t", vcpu, program)
+
+    def test_initial_state_runnable(self):
+        task = self._task()
+        assert task.state == RUNNABLE
+        assert task.runnable
+
+    def test_charge_accumulates(self):
+        task = self._task()
+        task.charge(100)
+        task.charge(50)
+        assert task.ran_ns == 150
+        assert task.total_ns == 150
+
+    def test_exited_not_runnable(self):
+        task = self._task()
+        task.state = EXITED
+        assert not task.runnable

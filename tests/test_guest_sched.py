@@ -1,0 +1,120 @@
+"""Tests for the in-guest task scheduler (GuestCpu)."""
+
+from repro.guest import task as task_mod
+from repro.guest.sched import GuestCpu
+from repro.guest.waitqueue import WaitQueue
+from repro.sim.time import ms
+
+from helpers import make_domain, make_hv, spawn_task, spin_program
+
+
+def _vcpu_with_tasks(count):
+    _sim, hv = make_hv(num_pcpus=1)
+    domain = make_domain(hv, vcpus=1)
+    vcpu = domain.vcpus[0]
+    tasks = [spawn_task(vcpu, spin_program(), name="t%d" % i) for i in range(count)]
+    return vcpu, vcpu.guest_cpu, tasks
+
+
+class TestPick:
+    def test_picks_first_runnable(self):
+        _vcpu, guest_cpu, tasks = _vcpu_with_tasks(2)
+        task, switched = guest_cpu.pick()
+        assert task is tasks[0]
+        assert switched
+
+    def test_sticky_current_without_resched(self):
+        _vcpu, guest_cpu, tasks = _vcpu_with_tasks(2)
+        guest_cpu.pick()
+        task, switched = guest_cpu.pick()
+        assert task is tasks[0]
+        assert not switched
+
+    def test_round_robin_after_timeslice(self):
+        _vcpu, guest_cpu, tasks = _vcpu_with_tasks(2)
+        first, _ = guest_cpu.pick()
+        first.charge(guest_cpu.timeslice + 1)
+        second, switched = guest_cpu.pick()
+        assert second is tasks[1]
+        assert switched
+
+    def test_no_rotation_when_alone(self):
+        _vcpu, guest_cpu, tasks = _vcpu_with_tasks(1)
+        only, _ = guest_cpu.pick()
+        only.charge(guest_cpu.timeslice * 3)
+        again, switched = guest_cpu.pick()
+        assert again is only
+        assert not switched
+
+    def test_idle_when_no_tasks(self):
+        _vcpu, guest_cpu, _ = _vcpu_with_tasks(0)
+        task, _switched = guest_cpu.pick()
+        assert task is None
+        assert not guest_cpu.has_runnable
+
+
+class TestSleepWake:
+    def test_sleep_blocks_task(self):
+        _vcpu, guest_cpu, tasks = _vcpu_with_tasks(2)
+        guest_cpu.pick()
+        queue = WaitQueue()
+        assert guest_cpu.sleep(tasks[0], queue)
+        assert tasks[0].state == task_mod.SLEEPING
+        task, _ = guest_cpu.pick()
+        assert task is tasks[1]
+
+    def test_sleep_consumes_banked_token(self):
+        _vcpu, guest_cpu, tasks = _vcpu_with_tasks(1)
+        queue = WaitQueue()
+        queue.pop_sleeper()  # bank
+        assert not guest_cpu.sleep(tasks[0], queue)
+        assert tasks[0].state == task_mod.RUNNABLE
+
+    def test_enqueue_wakes_and_sets_resched(self):
+        _vcpu, guest_cpu, tasks = _vcpu_with_tasks(2)
+        guest_cpu.pick()
+        queue = WaitQueue()
+        guest_cpu.sleep(tasks[1] if guest_cpu.current is tasks[0] else tasks[0], queue)
+        sleeper = [t for t in tasks if t.state == task_mod.SLEEPING][0]
+        guest_cpu.enqueue(sleeper)
+        assert sleeper.state == task_mod.RUNNABLE
+        assert guest_cpu.need_resched
+
+    def test_wakeup_preemption_switches_at_next_pick(self):
+        _vcpu, guest_cpu, tasks = _vcpu_with_tasks(2)
+        current, _ = guest_cpu.pick()
+        other = tasks[1] if current is tasks[0] else tasks[0]
+        queue = WaitQueue()
+        guest_cpu.sleep(other, queue)
+        guest_cpu.enqueue(other)
+        nxt, switched = guest_cpu.pick()
+        assert nxt is other
+        assert switched
+
+    def test_enqueue_idempotent_for_runnable(self):
+        _vcpu, guest_cpu, tasks = _vcpu_with_tasks(2)
+        guest_cpu.pick()
+        guest_cpu.enqueue(tasks[1])
+        guest_cpu.enqueue(tasks[1])
+        assert guest_cpu.runnable.count(tasks[1]) == 1
+
+    def test_yield_rotates(self):
+        _vcpu, guest_cpu, tasks = _vcpu_with_tasks(2)
+        first, _ = guest_cpu.pick()
+        guest_cpu.yield_current()
+        second, _ = guest_cpu.pick()
+        assert second is not first
+
+
+class TestMixedVcpuIntegration:
+    def test_two_tasks_share_vcpu_time(self):
+        sim, hv = make_hv(num_pcpus=1)
+        domain = make_domain(hv, vcpus=1)
+        vcpu = domain.vcpus[0]
+        a = spawn_task(vcpu, spin_program(chunk_us=100), name="a")
+        b = spawn_task(vcpu, spin_program(chunk_us=100), name="b")
+        hv.start()
+        sim.run(until=ms(60))
+        assert a.total_ns > 0 and b.total_ns > 0
+        share = a.total_ns / (a.total_ns + b.total_ns)
+        assert 0.35 < share < 0.65

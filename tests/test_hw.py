@@ -1,0 +1,173 @@
+"""Tests for the hardware models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.cache import CacheState
+from repro.hw.costs import CacheModel, CostModel
+from repro.hw.nic import Nic, Packet
+from repro.hw.ple import PleConfig
+from repro.hw.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.time import ms, us
+
+
+class TestTopology:
+    def test_default_is_twelve_pcpus(self):
+        assert len(Topology()) == 12
+
+    def test_indices_sequential(self):
+        topo = Topology(num_pcpus=4)
+        assert [p.index for p in topo] == [0, 1, 2, 3]
+
+    def test_socket_assignment(self):
+        topo = Topology(num_pcpus=8, sockets=2)
+        assert topo.socket_of(0) == 0
+        assert topo.socket_of(7) == 1
+
+    def test_zero_pcpus_rejected(self):
+        with pytest.raises(ConfigError):
+            Topology(num_pcpus=0)
+
+    def test_uneven_socket_split_rejected(self):
+        with pytest.raises(ConfigError):
+            Topology(num_pcpus=5, sockets=2)
+
+    def test_indexing(self):
+        topo = Topology(num_pcpus=3)
+        assert topo[2].index == 2
+
+
+class TestCacheModel:
+    def test_starts_cold(self):
+        cache = CacheState(CacheModel())
+        assert cache.warmth == 0.0
+
+    def test_warms_while_running(self):
+        model = CacheModel()
+        cache = CacheState(model)
+        cache.on_schedule_in(0)
+        speed_start = cache.speed(0)
+        speed_later = cache.speed(ms(5))
+        assert speed_later > speed_start
+        assert speed_later <= 1.0
+
+    def test_cold_speed_floor(self):
+        model = CacheModel(max_penalty=0.3)
+        cache = CacheState(model)
+        assert cache.speed(0) == pytest.approx(0.7)
+
+    def test_decays_when_descheduled(self):
+        model = CacheModel()
+        cache = CacheState(model)
+        cache.on_schedule_in(0)
+        cache.on_schedule_out(ms(10))
+        warm = cache.warmth
+        cache.speed(ms(40))  # 30 ms off CPU
+        assert cache.warmth < warm
+
+    def test_fully_warm_approaches_full_speed(self):
+        cache = CacheState(CacheModel())
+        cache.on_schedule_in(0)
+        assert cache.speed(ms(50)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_time_never_runs_backwards(self):
+        cache = CacheState(CacheModel())
+        cache.on_schedule_in(100)
+        cache.speed(100)  # same instant: no change, no crash
+        assert cache.warmth == pytest.approx(0.0)
+
+
+class TestPle:
+    def test_default_window(self):
+        assert PleConfig().spin_budget() == us(3)
+
+    def test_disabled_returns_none(self):
+        assert PleConfig(enabled=False).spin_budget() is None
+
+    def test_custom_window(self):
+        assert PleConfig(window=us(25)).spin_budget() == us(25)
+
+
+class TestCostModel:
+    def test_defaults_are_microsecond_scale(self):
+        costs = CostModel()
+        assert us(0.5) <= costs.ctx_switch <= us(10)
+        assert costs.vmexit < costs.ctx_switch
+
+    def test_cache_model_attached(self):
+        assert isinstance(CostModel().cache, CacheModel)
+
+
+class TestNic:
+    def _packet(self, seq=1, size=1500):
+        return Packet("flow", size, seq, 0)
+
+    def test_receive_queues_packet(self):
+        sim = Simulator()
+        nic = Nic(sim)
+        assert nic.receive(self._packet())
+        assert nic.pending == 1
+
+    def test_irq_raised_after_latency(self):
+        sim = Simulator()
+        nic = Nic(sim, irq_latency=us(2))
+        fired = []
+        nic.attach_irq_sink(lambda n: fired.append(sim.now))
+        nic.receive(self._packet())
+        sim.run()
+        assert fired == [us(2)]
+
+    def test_irq_coalescing_single_interrupt_for_burst(self):
+        sim = Simulator()
+        nic = Nic(sim)
+        fired = []
+        nic.attach_irq_sink(lambda n: fired.append(sim.now))
+        for seq in range(5):
+            nic.receive(self._packet(seq))
+        sim.run()
+        assert len(fired) == 1
+
+    def test_drain_returns_fifo_and_rearms(self):
+        sim = Simulator()
+        nic = Nic(sim)
+        fired = []
+        nic.attach_irq_sink(lambda n: fired.append(sim.now))
+        nic.receive(self._packet(1))
+        sim.run()
+        taken = nic.drain()
+        assert [p.seq for p in taken] == [1]
+        nic.receive(self._packet(2))
+        sim.run()
+        assert len(fired) == 2  # re-armed after a full drain
+
+    def test_drain_budget(self):
+        sim = Simulator()
+        nic = Nic(sim)
+        for seq in range(5):
+            nic.receive(self._packet(seq))
+        taken = nic.drain(budget=2)
+        assert len(taken) == 2
+        assert nic.pending == 3
+
+    def test_partial_drain_keeps_irq_pending(self):
+        sim = Simulator()
+        nic = Nic(sim)
+        fired = []
+        nic.attach_irq_sink(lambda n: fired.append(sim.now))
+        for seq in range(4):
+            nic.receive(self._packet(seq))
+        sim.run()
+        nic.drain(budget=2)
+        sim.run()
+        # Remaining packets re-raise an interrupt.
+        assert len(fired) == 2
+
+    def test_ring_overflow_drops(self):
+        sim = Simulator()
+        nic = Nic(sim, ring_size=2)
+        assert nic.receive(self._packet(1))
+        assert nic.receive(self._packet(2))
+        assert not nic.receive(self._packet(3))
+        assert nic.dropped == 1
+        assert nic.delivered == 2

@@ -1,0 +1,112 @@
+"""Tests for IPI transactions and the TLB shootdown protocol."""
+
+from repro.guest.ipi import KIND_RESCHED, KIND_TLB, IpiOp
+
+from helpers import make_domain, make_hv, spawn_task, spin_program
+
+
+class _FakeVcpu:
+    def __init__(self, name="v"):
+        self.name = name
+        self.notifications = []
+
+    def notify(self, cause):
+        self.notifications.append(cause)
+
+
+class TestIpiOp:
+    def test_single_target_completion(self):
+        src, dst = _FakeVcpu("s"), _FakeVcpu("d")
+        op = IpiOp(KIND_RESCHED, src, [dst], started_at=100)
+        assert not op.complete
+        assert op.ack(dst, 250)
+        assert op.complete
+        assert op.latency == 150
+
+    def test_initiator_notified_on_completion(self):
+        src, dst = _FakeVcpu("s"), _FakeVcpu("d")
+        op = IpiOp(KIND_RESCHED, src, [dst], 0)
+        op.ack(dst, 10)
+        assert src.notifications == [("ipi_complete", op)]
+
+    def test_multi_target_requires_all_acks(self):
+        src = _FakeVcpu("s")
+        targets = [_FakeVcpu("t%d" % i) for i in range(3)]
+        op = IpiOp(KIND_TLB, src, targets, 0)
+        op.ack(targets[0], 5)
+        op.ack(targets[1], 9)
+        assert not op.complete
+        op.ack(targets[2], 20)
+        assert op.complete
+        assert op.latency == 20
+
+    def test_duplicate_ack_ignored(self):
+        src, dst = _FakeVcpu("s"), _FakeVcpu("d")
+        other = _FakeVcpu("o")
+        op = IpiOp(KIND_TLB, src, [dst, other], 0)
+        assert op.ack(dst, 5)
+        assert not op.ack(dst, 6)
+        assert not op.complete
+
+    def test_non_target_ack_ignored(self):
+        src, dst = _FakeVcpu("s"), _FakeVcpu("d")
+        op = IpiOp(KIND_TLB, src, [dst], 0)
+        assert not op.ack(_FakeVcpu("stranger"), 5)
+        assert not op.complete
+
+    def test_on_complete_callback(self):
+        seen = []
+        src, dst = _FakeVcpu("s"), _FakeVcpu("d")
+        op = IpiOp(KIND_TLB, src, [dst], 0, on_complete=seen.append)
+        op.ack(dst, 3)
+        assert seen == [op]
+
+    def test_ids_unique(self):
+        a = IpiOp(KIND_TLB, None, [], 0)
+        b = IpiOp(KIND_TLB, None, [], 0)
+        assert a.id != b.id
+
+
+class TestTlbManager:
+    def test_targets_skip_initiator_and_lazy(self):
+        _sim, hv, domain = _domain_with_vcpus()
+        initiator = domain.vcpus[0]
+        domain.vcpus[2].lazy_tlb = True
+        targets = domain.kernel.tlb.shootdown_targets(initiator)
+        assert initiator not in targets
+        assert domain.vcpus[2] not in targets
+        assert domain.vcpus[1] in targets
+
+    def test_empty_target_set_completes_instantly(self):
+        _sim, hv, domain = _domain_with_vcpus(vcpus=1)
+        op = domain.kernel.tlb.start(domain.vcpus[0], now=50)
+        assert op.complete
+        assert domain.kernel.tlb.sync_latency.count == 1
+        assert domain.kernel.tlb.sync_latency.mean == 0
+
+    def test_start_counts_messages(self):
+        sim, hv, domain = _domain_with_vcpus(vcpus=4)
+        domain.kernel.tlb.start(domain.vcpus[0], now=0)
+        assert domain.kernel.tlb.issued == 1
+        assert domain.kernel.tlb.ipi_messages == 3
+
+    def test_latency_recorded_on_completion(self):
+        sim, hv, domain = _domain_with_vcpus(vcpus=3)
+        # Give every vCPU something to run, then start the hypervisor so
+        # the flush work actually executes.
+        for vcpu in domain.vcpus:
+            spawn_task(vcpu, spin_program(chunk_us=20))
+        hv.start()
+        sim.run(until=1_000_000)  # let everyone get on a pCPU
+        op = domain.kernel.tlb.start(domain.vcpus[0], now=sim.now)
+        sim.run(until=sim.now + 5_000_000)
+        assert op.complete
+        assert domain.kernel.tlb.sync_latency.count == 1
+        # With all targets running, acks land within tens of µs.
+        assert domain.kernel.tlb.sync_latency.mean < 200_000
+
+
+def _domain_with_vcpus(vcpus=3):
+    sim, hv = make_hv(num_pcpus=4)
+    domain = make_domain(hv, vcpus=vcpus)
+    return sim, hv, domain

@@ -1,0 +1,155 @@
+"""Tests for the guest kernel facade, mm helpers, and the net stack."""
+
+import pytest
+
+from repro.errors import GuestError
+from repro.guest import mm
+from repro.guest.actions import Acquire, Compute, Release, Shootdown
+from repro.guest.netstack import NetStack, Socket
+from repro.guest.spinlock import DENTRY, PAGE_ALLOC, PAGE_RECLAIM
+from repro.hw.nic import Nic, Packet
+from repro.sim.time import ms, us
+
+from helpers import make_domain, make_hv, spawn_task, spin_program
+
+
+def _setup(vcpus=2, num_pcpus=2):
+    sim, hv = make_hv(num_pcpus=num_pcpus)
+    domain = make_domain(hv, vcpus=vcpus)
+    return sim, hv, domain
+
+
+class TestGuestKernel:
+    def test_standard_locks_precreated(self):
+        _sim, _hv, domain = _setup()
+        names = {lock.name for lock in domain.kernel.all_locks()}
+        assert {"page_alloc", "page_reclaim", "dentry", "runqueue"} <= names
+
+    def test_lock_by_class_returns_singleton(self):
+        _sim, _hv, domain = _setup()
+        assert domain.kernel.lock(PAGE_ALLOC) is domain.kernel.lock(PAGE_ALLOC)
+
+    def test_lock_instances_disambiguate(self):
+        _sim, _hv, domain = _setup()
+        a = domain.kernel.lock(DENTRY, instance="a")
+        b = domain.kernel.lock(DENTRY, instance="b")
+        assert a is not b
+        assert a.lock_class is b.lock_class
+
+    def test_lock_by_unknown_name_rejected(self):
+        _sim, _hv, domain = _setup()
+        with pytest.raises(GuestError):
+            domain.kernel.lock("no_such_lock")
+
+    def test_lock_section_shape(self):
+        _sim, _hv, domain = _setup()
+        lock = domain.kernel.lock(PAGE_ALLOC)
+        actions = list(domain.kernel.lock_section(lock, us(2)))
+        assert isinstance(actions[0], Acquire)
+        assert isinstance(actions[1], Compute)
+        assert actions[1].symbol == lock.cs_symbol
+        assert isinstance(actions[2], Release)
+
+    def test_addr_for_user_and_kernel(self):
+        _sim, _hv, domain = _setup()
+        kernel = domain.kernel
+        assert kernel.addr_for(None) < 0xFFFFFFFF81000000
+        addr = kernel.addr_for("irq_enter")
+        assert kernel.symbols.resolve_name(addr) == "irq_enter"
+
+    def test_record_lock_wait_feeds_lockstat(self):
+        _sim, _hv, domain = _setup()
+        lock = domain.kernel.lock(PAGE_ALLOC)
+        domain.kernel.record_lock_wait(lock, 5_000)
+        stat = domain.kernel.lockstat.stat("page_alloc")
+        assert stat.count == 1
+        assert stat.mean == 5_000
+
+
+class TestMmHelpers:
+    def test_mmap_uses_page_alloc_lock(self):
+        _sim, _hv, domain = _setup()
+        actions = list(mm.mmap(domain.kernel))
+        acquire = [a for a in actions if isinstance(a, Acquire)]
+        assert acquire[0].lock.lock_class is PAGE_ALLOC
+
+    def test_munmap_flushes_tlb(self):
+        _sim, _hv, domain = _setup()
+        actions = list(mm.munmap(domain.kernel))
+        assert any(isinstance(a, Shootdown) for a in actions)
+        acquire = [a for a in actions if isinstance(a, Acquire)]
+        assert acquire[0].lock.lock_class is PAGE_RECLAIM
+
+    def test_munmap_without_flush(self):
+        _sim, _hv, domain = _setup()
+        actions = list(mm.munmap(domain.kernel, flush=False))
+        assert not any(isinstance(a, Shootdown) for a in actions)
+
+
+class TestSocket:
+    def test_delivery_and_take(self):
+        sock = Socket("flow")
+        sock.deliver(Packet("flow", 100, 1, 0))
+        sock.deliver(Packet("flow", 200, 2, 0))
+        assert sock.pending == 2
+        assert sock.received_bytes == 300
+        taken = sock.take(limit=1)
+        assert [p.seq for p in taken] == [1]
+        assert sock.pending == 1
+
+    def test_take_all(self):
+        sock = Socket("flow")
+        for seq in range(3):
+            sock.deliver(Packet("flow", 10, seq, 0))
+        assert len(sock.take()) == 3
+
+
+class TestNetStack:
+    def _net(self, domain, sim):
+        nic = Nic(sim)
+        return domain.kernel.attach_netstack(nic), nic
+
+    def test_socket_created_per_flow(self):
+        sim, _hv, domain = _setup()
+        net, _nic = self._net(domain, sim)
+        assert net.socket("f") is net.socket("f")
+
+    def test_deliver_routes_by_flow(self):
+        sim, _hv, domain = _setup()
+        net, _nic = self._net(domain, sim)
+        sock_a = net.socket("a")
+        sock_b = net.socket("b")
+        touched = net.deliver([Packet("a", 10, 1, 0), Packet("a", 10, 2, 0), Packet("b", 10, 3, 0)])
+        assert touched == [sock_a, sock_b]
+        assert sock_a.pending == 2
+        assert sock_b.pending == 1
+
+    def test_deliver_unbound_flow_rejected(self):
+        sim, _hv, domain = _setup()
+        net, _nic = self._net(domain, sim)
+        with pytest.raises(GuestError):
+            net.deliver([Packet("ghost", 10, 1, 0)])
+
+    def test_irq_vcpu_selection(self):
+        sim, _hv, domain = _setup(vcpus=3)
+        nic = Nic(sim)
+        net = domain.kernel.attach_netstack(nic, irq_vcpu_index=2)
+        assert net.irq_vcpu is domain.vcpus[2]
+
+
+class TestEndToEndRx:
+    def test_packet_reaches_idle_guest_via_boost(self):
+        """NIC IRQ wakes a halted vCPU; the IRQ work runs and the
+        packet lands in the socket buffer."""
+        sim, hv, domain = _setup(vcpus=1, num_pcpus=2)
+        nic = Nic(sim)
+        hv.attach_nic(nic, domain)
+        net = domain.kernel.attach_netstack(nic)
+        sock = net.socket("flow")
+        hv.start()
+        sim.run(until=ms(1))  # guest idles (no tasks) -> vCPU halts
+        assert domain.vcpus[0].state == "blocked"
+        nic.receive(Packet("flow", 1500, 1, sim.now))
+        sim.run(until=sim.now + ms(1))
+        assert sock.pending == 1
+        assert hv.stats.counters.get("virq") == 1

@@ -1,0 +1,199 @@
+"""Tests for the reader-writer semaphore model."""
+
+import pytest
+
+from repro.errors import GuestError
+from repro.guest.actions import Compute, Emit
+from repro.guest.rwsem import READ, WRITE, RwSemaphore
+from repro.sim.time import ms, us
+
+from helpers import make_domain, make_hv, spawn_task
+
+
+class _Task:
+    def __init__(self, name):
+        self.name = name
+
+
+def _drain(gen):
+    """Exhaust a composite helper that should not sleep (returns its
+    yielded actions)."""
+    return list(gen)
+
+
+class TestRwSemUnit:
+    def test_uncontended_read(self):
+        sem = RwSemaphore("s")
+        task = _Task("r")
+        assert _drain(sem.acquire(task, READ)) == []
+        assert sem.held_by(task)
+        assert sem.acquisitions[READ] == 1
+
+    def test_multiple_readers_share(self):
+        sem = RwSemaphore("s")
+        readers = [_Task("r%d" % i) for i in range(3)]
+        for task in readers:
+            _drain(sem.acquire(task, READ))
+        assert len(sem.readers) == 3
+
+    def test_writer_excludes_readers(self):
+        sem = RwSemaphore("s")
+        writer, reader = _Task("w"), _Task("r")
+        _drain(sem.acquire(writer, WRITE))
+        actions = list(sem.acquire(reader, READ))
+        assert actions  # had to sleep
+        assert sem.waiter_count() == 1
+
+    def test_reader_excludes_writer(self):
+        sem = RwSemaphore("s")
+        reader, writer = _Task("r"), _Task("w")
+        _drain(sem.acquire(reader, READ))
+        assert list(sem.acquire(writer, WRITE))
+        assert sem.waiter_count() == 1
+
+    def test_fifo_fairness_blocks_readers_behind_writer(self):
+        sem = RwSemaphore("s")
+        holder, writer, late_reader = _Task("h"), _Task("w"), _Task("lr")
+        _drain(sem.acquire(holder, READ))
+        list(sem.acquire(writer, WRITE))       # queued writer
+        actions = list(sem.acquire(late_reader, READ))
+        assert actions                          # must queue behind writer
+        assert sem.waiter_count() == 2
+
+    def test_release_wakes_head_writer_only(self):
+        sem = RwSemaphore("s")
+        holder, writer, reader = _Task("h"), _Task("w"), _Task("r")
+        _drain(sem.acquire(holder, READ))
+        list(sem.acquire(writer, WRITE))
+        list(sem.acquire(reader, READ))
+        wake_actions = list(sem.release(holder))
+        assert sem.writer is writer
+        assert reader not in sem.readers
+        assert any(a.symbol == "rwsem_wake" for a in wake_actions if isinstance(a, Compute))
+
+    def test_release_wakes_run_of_readers(self):
+        sem = RwSemaphore("s")
+        writer = _Task("w")
+        readers = [_Task("r%d" % i) for i in range(3)]
+        _drain(sem.acquire(writer, WRITE))
+        for task in readers:
+            list(sem.acquire(task, READ))
+        list(sem.release(writer))
+        assert set(sem.readers) == set(readers)
+        assert sem.waiter_count() == 0
+
+    def test_release_unheld_rejected(self):
+        sem = RwSemaphore("s")
+        with pytest.raises(GuestError):
+            list(sem.release(_Task("x")))
+
+    def test_reacquire_rejected(self):
+        sem = RwSemaphore("s")
+        task = _Task("t")
+        _drain(sem.acquire(task, READ))
+        with pytest.raises(GuestError):
+            list(sem.acquire(task, READ))
+
+    def test_downgrade(self):
+        sem = RwSemaphore("s")
+        writer, reader = _Task("w"), _Task("r")
+        _drain(sem.acquire(writer, WRITE))
+        list(sem.acquire(reader, READ))
+        list(sem.downgrade(writer))
+        assert writer in sem.readers
+        assert reader in sem.readers
+        assert sem.downgrades == 1
+
+    def test_downgrade_without_write_hold_rejected(self):
+        sem = RwSemaphore("s")
+        with pytest.raises(GuestError):
+            list(sem.downgrade(_Task("x")))
+
+    def test_abandon_waiter(self):
+        sem = RwSemaphore("s")
+        holder, waiter = _Task("h"), _Task("q")
+        _drain(sem.acquire(holder, WRITE))
+        list(sem.acquire(waiter, READ))
+        sem.abandon(waiter)
+        assert sem.waiter_count() == 0
+
+
+class TestRwSemExecution:
+    def test_writers_and_readers_make_progress(self):
+        sim, hv = make_hv(num_pcpus=2)
+        domain = make_domain(hv, vcpus=2)
+        sem = domain.kernel.rwsem("mmap_sem")
+        done = {"read": 0, "write": 0}
+
+        def reader_program(task_box):
+            def gen():
+                task = task_box[0]
+                while True:
+                    yield from sem.read_section(task, us(2))
+                    yield Compute(us(20))
+                    done["read"] += 1
+
+            return gen()
+
+        def writer_program(task_box):
+            def gen():
+                task = task_box[0]
+                while True:
+                    yield from sem.write_section(task, us(3))
+                    yield Compute(us(50))
+                    done["write"] += 1
+
+            return gen()
+
+        box_r, box_w = [None], [None]
+        box_r[0] = spawn_task(domain.vcpus[0], lambda: reader_program(box_r), "reader")
+        box_w[0] = spawn_task(domain.vcpus[1], lambda: writer_program(box_w), "writer")
+        hv.start()
+        sim.run(until=ms(20))
+        assert done["read"] > 50
+        assert done["write"] > 50
+        assert not sem.held or sem.writer is None or not sem.readers
+
+    def test_exclusion_invariant_under_scheduling(self):
+        sim, hv = make_hv(num_pcpus=2)
+        domain = make_domain(hv, vcpus=2)
+        sem = domain.kernel.rwsem("mmap_sem")
+        state = {"readers": 0, "writers": 0, "violations": 0}
+
+        def enter(mode):
+            def _fn(_now):
+                state[mode] += 1
+                if state["writers"] > 1 or (state["writers"] and state["readers"]):
+                    state["violations"] += 1
+
+            return _fn
+
+        def leave(mode):
+            return lambda _now: state.__setitem__(mode, state[mode] - 1)
+
+        def program(box, mode):
+            def gen():
+                task = box[0]
+                while True:
+                    yield from sem.acquire(task, READ if mode == "readers" else WRITE)
+                    yield Emit(enter(mode))
+                    yield Compute(us(3))
+                    yield Emit(leave(mode))
+                    yield from sem.release(task)
+                    yield Compute(us(10))
+
+            return gen()
+
+        boxes = [[None], [None]]
+        boxes[0][0] = spawn_task(domain.vcpus[0], lambda: program(boxes[0], "readers"), "r")
+        boxes[1][0] = spawn_task(domain.vcpus[1], lambda: program(boxes[1], "writers"), "w")
+        hv.start()
+        sim.run(until=ms(30))
+        assert state["violations"] == 0
+
+    def test_kernel_rwsem_registry(self):
+        _sim, hv = make_hv(num_pcpus=1)
+        domain = make_domain(hv, vcpus=1)
+        assert domain.kernel.rwsem("a") is domain.kernel.rwsem("a")
+        assert domain.kernel.rwsem("a") is not domain.kernel.rwsem("b")
+        assert len(domain.kernel.all_rwsems()) == 2

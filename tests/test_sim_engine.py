@@ -1,0 +1,334 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import FAILED, FINISHED, Process, Simulator
+from repro.sim.events import Event, Interrupt, Timeout
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0
+
+    def test_callback_runs_at_scheduled_time(self, sim):
+        seen = []
+        sim.schedule(100, lambda _a: seen.append(sim.now))
+        sim.run()
+        assert seen == [100]
+
+    def test_callbacks_in_time_order(self, sim):
+        seen = []
+        sim.schedule(300, lambda _a: seen.append(300))
+        sim.schedule(100, lambda _a: seen.append(100))
+        sim.schedule(200, lambda _a: seen.append(200))
+        sim.run()
+        assert seen == [100, 200, 300]
+
+    def test_fifo_within_same_timestamp(self, sim):
+        seen = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(50, lambda _a, t=tag: seen.append(t))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_argument_passed_to_callback(self, sim):
+        seen = []
+        sim.schedule(10, seen.append, "payload")
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda _a: None)
+
+    def test_cancelled_entry_does_not_run(self, sim):
+        seen = []
+        handle = sim.schedule(10, lambda _a: seen.append(1))
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_run_until_stops_clock_at_limit(self, sim):
+        sim.schedule(1000, lambda _a: None)
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_run_until_leaves_future_events_pending(self, sim):
+        seen = []
+        sim.schedule(1000, lambda _a: seen.append(1))
+        sim.run(until=500)
+        assert seen == []
+        sim.run(until=1500)
+        assert seen == [1]
+
+    def test_run_until_advances_clock_when_queue_empties(self, sim):
+        sim.run(until=777)
+        assert sim.now == 777
+
+    def test_peek_returns_next_event_time(self, sim):
+        sim.schedule(42, lambda _a: None)
+        assert sim.peek() == 42
+
+    def test_peek_skips_cancelled(self, sim):
+        handle = sim.schedule(10, lambda _a: None)
+        sim.schedule(20, lambda _a: None)
+        handle.cancel()
+        assert sim.peek() == 20
+
+    def test_peek_empty_queue(self, sim):
+        assert sim.peek() is None
+
+    def test_executed_events_counted(self, sim):
+        for _ in range(5):
+            sim.schedule(1, lambda _a: None)
+        sim.run()
+        assert sim.executed_events == 5
+
+    def test_nested_scheduling_from_callback(self, sim):
+        seen = []
+
+        def outer(_a):
+            sim.schedule(5, lambda _b: seen.append(sim.now))
+
+        sim.schedule(10, outer)
+        sim.run()
+        assert seen == [15]
+
+
+class TestEvents:
+    def test_trigger_resumes_value(self, sim):
+        event = Event(sim)
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        event.trigger("hello")
+        sim.run()
+        assert seen == ["hello"]
+
+    def test_double_trigger_rejected(self, sim):
+        event = Event(sim)
+        event.trigger()
+        with pytest.raises(SimulationError):
+            event.trigger()
+
+    def test_callback_after_trigger_still_fires(self, sim):
+        event = Event(sim)
+        event.trigger(7)
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        sim.run()
+        assert seen == [7]
+
+    def test_discard_callback(self, sim):
+        event = Event(sim)
+        seen = []
+        callback = lambda ev: seen.append(1)  # noqa: E731
+        event.add_callback(callback)
+        event.discard_callback(callback)
+        event.trigger()
+        sim.run()
+        assert seen == []
+
+    def test_timeout_fires_after_delay(self, sim):
+        seen = []
+        timeout = Timeout(sim, 250, value="t")
+        timeout.add_callback(lambda ev: seen.append((sim.now, ev.value)))
+        sim.run()
+        assert seen == [(250, "t")]
+
+    def test_timeout_cancel(self, sim):
+        timeout = Timeout(sim, 250)
+        timeout.cancel()
+        sim.run()
+        assert not timeout.triggered
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Timeout(sim, -5)
+
+
+class TestProcesses:
+    def test_process_requires_generator(self, sim):
+        with pytest.raises(SimulationError):
+            Process(sim, lambda: None)
+
+    def test_process_advances_through_timeouts(self, sim):
+        marks = []
+
+        def proc():
+            yield sim.timeout(10)
+            marks.append(sim.now)
+            yield sim.timeout(20)
+            marks.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert marks == [10, 30]
+
+    def test_process_receives_event_value(self, sim):
+        seen = []
+
+        def proc():
+            value = yield sim.timeout(5, value="payload")
+            seen.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_process_completion_event_carries_return(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return "done"
+
+        p = sim.process(proc())
+        results = []
+        p.completed.add_callback(lambda ev: results.append(ev.value))
+        sim.run()
+        assert p.state == FINISHED
+        assert results == ["done"]
+
+    def test_process_yielding_non_event_fails(self, sim):
+        def proc():
+            yield 42
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_process_exception_marks_failed(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        p = sim.process(proc())
+        with pytest.raises(ValueError):
+            sim.run()
+        assert p.state == FAILED
+        assert isinstance(p.error, ValueError)
+
+    def test_interrupt_breaks_wait_early(self, sim):
+        marks = []
+
+        def victim():
+            try:
+                yield sim.timeout(1_000)
+            except Interrupt as intr:
+                marks.append((sim.now, intr.cause))
+
+        p = sim.process(victim())
+        sim.schedule(100, lambda _a: p.interrupt("poke"))
+        sim.run()
+        assert marks == [(100, "poke")]
+
+    def test_stale_timeout_after_interrupt_ignored(self, sim):
+        marks = []
+
+        def victim():
+            try:
+                yield sim.timeout(500)
+            except Interrupt:
+                pass
+            yield sim.timeout(1_000)
+            marks.append(sim.now)
+
+        p = sim.process(victim())
+        sim.schedule(100, lambda _a: p.interrupt())
+        sim.run()
+        # Resumed at 100, slept 1000 more; the original t=500 timeout
+        # must not have resumed it early.
+        assert marks == [1_100]
+
+    def test_interrupts_coalesce_causes(self, sim):
+        causes = []
+
+        def victim():
+            try:
+                yield sim.timeout(1_000)
+            except Interrupt as intr:
+                causes.extend(intr.causes)
+
+        p = sim.process(victim())
+
+        def poke_twice(_a):
+            p.interrupt("first")
+            p.interrupt("second")
+
+        sim.schedule(10, poke_twice)
+        sim.run()
+        assert causes == ["first", "second"]
+
+    def test_interrupt_finished_process_is_noop(self, sim):
+        def proc():
+            yield sim.timeout(1)
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.state == FINISHED
+        p.interrupt("late")  # must not raise
+        sim.run()
+        assert p.state == FINISHED
+
+    def test_unhandled_interrupt_ends_process_cleanly(self, sim):
+        def victim():
+            yield sim.timeout(1_000)
+
+        p = sim.process(victim())
+        sim.schedule(10, lambda _a: p.interrupt("kill"))
+        sim.run()
+        assert p.state == FINISHED
+
+    def test_process_waits_on_external_event(self, sim):
+        gate = sim.event()
+        marks = []
+
+        def proc():
+            value = yield gate
+            marks.append((sim.now, value))
+
+        sim.process(proc())
+        sim.schedule(77, lambda _a: gate.trigger("open"))
+        sim.run()
+        assert marks == [(77, "open")]
+
+    def test_two_processes_interleave(self, sim):
+        order = []
+
+        def ticker(name, period):
+            for _ in range(3):
+                yield sim.timeout(period)
+                order.append((sim.now, name))
+
+        sim.process(ticker("fast", 10))
+        sim.process(ticker("slow", 25))
+        sim.run()
+        assert order == [
+            (10, "fast"),
+            (20, "fast"),
+            (25, "slow"),
+            (30, "fast"),
+            (50, "slow"),
+            (75, "slow"),
+        ]
+
+    def test_determinism_same_seed_same_trace(self, sim):
+        def build_and_run():
+            local = Simulator()
+            order = []
+
+            def proc(name):
+                for _ in range(5):
+                    yield local.timeout(7)
+                    order.append((local.now, name))
+
+            local.process(proc("a"))
+            local.process(proc("b"))
+            local.run()
+            return order
+
+        assert build_and_run() == build_and_run()

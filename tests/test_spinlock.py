@@ -1,0 +1,180 @@
+"""Unit tests for the pv-qspinlock model (lock object level)."""
+
+import pytest
+
+from repro.errors import GuestError
+from repro.guest.spinlock import (
+    DENTRY,
+    PAGE_ALLOC,
+    PARKED,
+    SPINNING,
+    STANDARD_CLASSES,
+    WAITING,
+    LockClass,
+    SpinLock,
+)
+
+
+class _FakeVcpu:
+    """Minimal vCPU double recording notifications."""
+
+    def __init__(self, name):
+        self.name = name
+        self.notifications = []
+
+    def notify(self, cause):
+        self.notifications.append(cause)
+
+    def __repr__(self):
+        return self.name
+
+
+class _FakeKernel:
+    def __init__(self):
+        self.kicked = []
+
+    def pv_kick(self, vcpu):
+        self.kicked.append(vcpu)
+
+
+@pytest.fixture
+def lock():
+    return SpinLock("page_alloc", PAGE_ALLOC, kernel=_FakeKernel())
+
+
+class TestFastPath:
+    def test_try_acquire_free_lock(self, lock):
+        vcpu = _FakeVcpu("a")
+        assert lock.try_acquire(vcpu)
+        assert lock.owned_by(vcpu)
+        assert lock.acquisitions == 1
+
+    def test_try_acquire_held_lock_fails(self, lock):
+        a, b = _FakeVcpu("a"), _FakeVcpu("b")
+        lock.try_acquire(a)
+        assert not lock.try_acquire(b)
+
+    def test_try_acquire_fails_with_queued_waiters(self, lock):
+        a, b, c = (_FakeVcpu(n) for n in "abc")
+        lock.try_acquire(a)
+        lock.add_waiter(b)
+        lock.release(a)
+        # b was granted; c must not steal via the fast path.
+        assert not lock.try_acquire(c)
+
+    def test_release_unheld_rejected(self, lock):
+        with pytest.raises(GuestError):
+            lock.release(_FakeVcpu("a"))
+
+    def test_release_by_non_holder_rejected(self, lock):
+        a, b = _FakeVcpu("a"), _FakeVcpu("b")
+        lock.try_acquire(a)
+        with pytest.raises(GuestError):
+            lock.release(b)
+
+    def test_uncontended_release_leaves_lock_free(self, lock):
+        a = _FakeVcpu("a")
+        lock.try_acquire(a)
+        assert lock.release(a) is None
+        assert not lock.held
+
+
+class TestHandoff:
+    def test_grant_to_spinning_waiter_notifies(self, lock):
+        a, b = _FakeVcpu("a"), _FakeVcpu("b")
+        lock.try_acquire(a)
+        waiter = lock.add_waiter(b)
+        waiter.state = SPINNING
+        grantee = lock.release(a)
+        assert grantee is b
+        assert lock.owned_by(b)
+        assert b.notifications == [("lock_granted", lock)]
+
+    def test_grant_to_parked_waiter_kicks(self, lock):
+        a, b = _FakeVcpu("a"), _FakeVcpu("b")
+        lock.try_acquire(a)
+        lock.add_waiter(b).state = PARKED
+        lock.release(a)
+        assert lock.kernel.kicked == [b]
+        assert b.notifications == []
+
+    def test_spinning_waiter_preferred_over_parked_head(self, lock):
+        a, head, spinner = (_FakeVcpu(n) for n in ("a", "head", "spin"))
+        lock.try_acquire(a)
+        lock.add_waiter(head).state = PARKED
+        lock.add_waiter(spinner).state = SPINNING
+        assert lock.release(a) is spinner
+
+    def test_parked_preferred_over_waiting_head(self, lock):
+        a, head, parked = (_FakeVcpu(n) for n in ("a", "head", "park"))
+        lock.try_acquire(a)
+        lock.add_waiter(head).state = WAITING
+        lock.add_waiter(parked).state = PARKED
+        assert lock.release(a) is parked
+        assert lock.kernel.kicked == [parked]
+
+    def test_waiting_head_granted_as_last_resort(self, lock):
+        a, head = _FakeVcpu("a"), _FakeVcpu("head")
+        lock.try_acquire(a)
+        lock.add_waiter(head).state = WAITING
+        assert lock.release(a) is head
+        # Still kicked (no-op for a runnable vCPU, as in Xen).
+        assert lock.kernel.kicked == [head]
+
+    def test_finish_grant_completes_acquisition(self, lock):
+        a, b = _FakeVcpu("a"), _FakeVcpu("b")
+        lock.try_acquire(a)
+        lock.add_waiter(b).state = SPINNING
+        lock.release(a)
+        assert lock.granted_to(b)
+        lock.finish_grant(b)
+        assert lock.owned_by(b)
+        assert lock.waiter_count() == 0
+        assert lock.acquisitions == 2
+
+    def test_finish_grant_without_grant_rejected(self, lock):
+        b = _FakeVcpu("b")
+        lock.add_waiter(b)
+        with pytest.raises(GuestError):
+            lock.finish_grant(b)
+
+    def test_fifo_among_same_state_waiters(self, lock):
+        a, b, c = (_FakeVcpu(n) for n in "abc")
+        lock.try_acquire(a)
+        lock.add_waiter(b).state = SPINNING
+        lock.add_waiter(c).state = SPINNING
+        assert lock.release(a) is b
+
+    def test_add_waiter_idempotent(self, lock):
+        b = _FakeVcpu("b")
+        first = lock.add_waiter(b)
+        second = lock.add_waiter(b)
+        assert first is second
+        assert lock.waiter_count() == 1
+        assert lock.contended == 1
+
+    def test_abandon_removes_waiter(self, lock):
+        b = _FakeVcpu("b")
+        lock.add_waiter(b)
+        lock.abandon(b)
+        assert lock.waiter_count() == 0
+
+    def test_handoff_counter(self, lock):
+        a, b = _FakeVcpu("a"), _FakeVcpu("b")
+        lock.try_acquire(a)
+        lock.add_waiter(b).state = SPINNING
+        lock.release(a)
+        assert lock.handoffs == 1
+
+
+class TestLockClasses:
+    def test_standard_classes_have_table3_symbols(self):
+        from repro.core.whitelist import is_critical
+
+        for lock_class in STANDARD_CLASSES:
+            assert is_critical(lock_class.cs_symbol), lock_class
+            assert is_critical(lock_class.unlock_symbol), lock_class
+
+    def test_lock_class_is_hashable_value_object(self):
+        assert DENTRY == LockClass("dentry", "__raw_spin_unlock", "__raw_spin_unlock")
+        assert hash(DENTRY) == hash(LockClass("dentry", "__raw_spin_unlock", "__raw_spin_unlock"))

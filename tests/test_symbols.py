@@ -1,0 +1,108 @@
+"""Tests for the guest kernel symbol table."""
+
+import pytest
+
+from repro.errors import SymbolTableError
+from repro.guest.symbols import (
+    DEFAULT_KERNEL_SYMBOLS,
+    KERNEL_TEXT_BASE,
+    USER_IP,
+    Symbol,
+    SymbolTable,
+    build_table,
+    default_guest_table,
+)
+
+
+class TestSymbolTable:
+    def test_build_table_layout_deterministic(self):
+        one = build_table(["a", "b", "c"])
+        two = build_table(["a", "b", "c"])
+        assert [s.address for s in one] == [s.address for s in two]
+
+    def test_addr_of_known_symbol(self):
+        table = build_table(["first", "second"])
+        assert table.addr_of("first") == KERNEL_TEXT_BASE
+
+    def test_addr_of_unknown_symbol(self):
+        table = build_table(["only"])
+        with pytest.raises(SymbolTableError):
+            table.addr_of("missing")
+
+    def test_lookup_start_middle_and_end(self):
+        table = build_table(["f"], size=0x100)
+        base = table.addr_of("f")
+        assert table.resolve_name(base) == "f"
+        assert table.resolve_name(base + 0x80) == "f"
+        assert table.resolve_name(base + 0xFF) == "f"
+        assert table.resolve_name(base + 0x100) is None
+
+    def test_lookup_user_address_is_none(self):
+        table = default_guest_table()
+        assert table.resolve_name(USER_IP) is None
+        assert table.lookup(None) is None
+
+    def test_lookup_below_first_symbol(self):
+        table = SymbolTable([Symbol("f", KERNEL_TEXT_BASE + 0x1000)])
+        assert table.resolve_name(KERNEL_TEXT_BASE + 0x10) is None
+
+    def test_duplicate_symbol_rejected(self):
+        table = build_table(["dup"])
+        with pytest.raises(SymbolTableError):
+            table.add(Symbol("dup", KERNEL_TEXT_BASE + 0x100000))
+
+    def test_overlapping_symbols_rejected(self):
+        table = SymbolTable([Symbol("a", 0xFFFFFFFF81000000, size=0x200)])
+        with pytest.raises(SymbolTableError):
+            table.add(Symbol("b", 0xFFFFFFFF81000100, size=0x200))
+
+    def test_contains(self):
+        table = build_table(["x"])
+        assert "x" in table
+        assert "y" not in table
+
+    def test_default_table_has_all_declared_symbols(self):
+        table = default_guest_table()
+        assert len(table) == len(DEFAULT_KERNEL_SYMBOLS)
+        for name in DEFAULT_KERNEL_SYMBOLS:
+            assert table.resolve_name(table.addr_of(name)) == name
+
+
+class TestSystemMapFormat:
+    def test_roundtrip(self):
+        table = build_table(["alpha", "beta", "gamma"])
+        text = table.to_system_map()
+        parsed = SymbolTable.from_system_map(text)
+        for name in ("alpha", "beta", "gamma"):
+            assert parsed.addr_of(name) == table.addr_of(name)
+
+    def test_format_is_system_map_like(self):
+        table = build_table(["sym"])
+        line = table.to_system_map().strip()
+        addr_text, type_text, name = line.split()
+        assert int(addr_text, 16) == KERNEL_TEXT_BASE
+        assert type_text == "T"
+        assert name == "sym"
+
+    def test_parse_unsorted_input(self):
+        text = "ffffffff81000400 T late\nffffffff81000000 T early\n"
+        table = SymbolTable.from_system_map(text)
+        assert table.addr_of("early") < table.addr_of("late")
+
+    def test_parse_infers_size_from_gap(self):
+        text = "ffffffff81000000 T tight\nffffffff81000040 T next\n"
+        table = SymbolTable.from_system_map(text)
+        assert table.lookup(0xFFFFFFFF81000020).name == "tight"
+        assert table.lookup(0xFFFFFFFF81000040).name == "next"
+
+    def test_parse_rejects_malformed_line(self):
+        with pytest.raises(SymbolTableError):
+            SymbolTable.from_system_map("not a symbol line\n")
+
+    def test_parse_rejects_bad_address(self):
+        with pytest.raises(SymbolTableError):
+            SymbolTable.from_system_map("zzzz T name\n")
+
+    def test_parse_skips_blank_lines(self):
+        table = SymbolTable.from_system_map("\nffffffff81000000 T a\n\n")
+        assert "a" in table

@@ -1,0 +1,125 @@
+"""Tests for the workload synchronisation helpers (Barrier, TokenRing)."""
+
+from repro.guest.actions import Compute, Emit
+from repro.sim.time import ms, us
+from repro.workloads.sync import Barrier, TokenRing
+
+from helpers import make_domain, make_hv, spawn_task
+
+
+def _run_threads(programs, vcpus=None, duration_ms=50, num_pcpus=4):
+    sim, hv = make_hv(num_pcpus=num_pcpus)
+    domain = make_domain(hv, vcpus=vcpus or len(programs))
+    for index, factory in enumerate(programs):
+        spawn_task(domain.vcpus[index % len(domain.vcpus)], factory, "t%d" % index)
+    hv.start()
+    sim.run(until=ms(duration_ms))
+    return sim, hv, domain
+
+
+class TestBarrier:
+    def test_all_parties_advance_together(self):
+        barrier = Barrier(3)
+        rounds = {i: 0 for i in range(3)}
+
+        def member(index):
+            def gen():
+                while True:
+                    yield Compute(us(20 * (index + 1)))  # uneven arrival
+                    yield from barrier.arrive()
+                    rounds[index] += 1
+
+            return gen
+
+        _run_threads([member(i) for i in range(3)])
+        assert barrier.generations > 5
+        values = list(rounds.values())
+        # No member can be more than one generation ahead.
+        assert max(values) - min(values) <= 1
+
+    def test_single_party_barrier_never_blocks(self):
+        barrier = Barrier(1)
+        done = {"n": 0}
+
+        def solo():
+            while True:
+                yield Compute(us(10))
+                yield from barrier.arrive()
+                done["n"] += 1
+
+        _run_threads([solo])
+        assert done["n"] > 100
+        assert barrier.generations == done["n"]
+
+    def test_waitq_empty_between_generations(self):
+        barrier = Barrier(2)
+
+        def member():
+            while True:
+                yield Compute(us(15))
+                yield from barrier.arrive()
+
+        _run_threads([member, member])
+        assert barrier.waitq.waiting <= 1
+
+
+class TestTokenRing:
+    def test_tokens_circulate_without_deadlock(self):
+        ring = TokenRing(3)
+        progress = [0, 0, 0]
+
+        def stage(index):
+            def gen():
+                while True:
+                    yield Compute(us(30))
+                    yield from ring.pass_token(index)
+                    progress[index] += 1
+
+            return gen
+
+        _run_threads([stage(i) for i in range(3)])
+        assert min(progress) > 20
+        # Stages stay within a token of one another.
+        assert max(progress) - min(progress) <= 3
+
+    def test_extra_tokens_increase_concurrency(self):
+        ring = TokenRing(2, tokens_per_stage=2)
+        total = {"n": 0}
+
+        def stage(index):
+            def gen():
+                while True:
+                    yield Compute(us(30))
+                    yield from ring.pass_token(index)
+                    total["n"] += 1
+
+            return gen
+
+        _run_threads([stage(0), stage(1)])
+        assert total["n"] > 40
+
+    def test_ring_of_one_is_self_sustaining(self):
+        ring = TokenRing(1)
+        laps = {"n": 0}
+
+        def stage():
+            while True:
+                yield Compute(us(10))
+                yield from ring.pass_token(0)
+                laps["n"] += 1
+
+        _run_threads([stage])
+        assert laps["n"] > 100
+
+
+class TestEmitOrdering:
+    def test_emits_observe_program_order(self):
+        order = []
+
+        def program():
+            for index in range(5):
+                yield Compute(us(10))
+                yield Emit(lambda _n, i=index: order.append(i))
+
+        _run_threads([lambda: program()], vcpus=1, duration_ms=5)
+        assert order == [0, 1, 2, 3, 4]

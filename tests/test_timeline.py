@@ -1,0 +1,77 @@
+"""Tests for the timeline sampler."""
+
+from repro.metrics.timeline import Series, TimelineSampler, standard_probes
+from repro.sim.engine import Simulator
+from repro.sim.time import ms
+
+from helpers import make_domain, make_hv, spawn_task, spin_program
+
+
+class TestSeries:
+    def test_aggregates(self):
+        series = Series("s")
+        for t, v in ((0, 1), (10, 3), (20, 2)):
+            series.append(t, v)
+        assert series.max() == 3
+        assert series.min() == 1
+        assert series.mean() == 2.0
+        assert series.last() == 2
+        assert len(series) == 3
+
+    def test_empty(self):
+        series = Series("s")
+        assert series.last() is None
+        assert series.max() is None
+        assert series.mean() == 0.0
+
+    def test_changes_compresses_runs(self):
+        series = Series("s")
+        for t, v in ((0, 0), (5, 0), (10, 2), (15, 2), (20, 1)):
+            series.append(t, v)
+        assert series.changes() == [(0, 0), (10, 2), (20, 1)]
+
+
+class TestSampler:
+    def test_samples_at_period(self):
+        sim = Simulator()
+        counter = {"n": 0}
+
+        def bump(_arg=None):
+            counter["n"] += 1
+            sim.schedule(ms(1), bump)
+
+        bump()
+        sampler = TimelineSampler(sim, period=ms(2)).probe("n", lambda: counter["n"])
+        sampler.start()
+        sim.run(until=ms(10))
+        series = sampler["n"]
+        assert len(series) == 6  # t=0,2,4,6,8,10
+        assert series.values == sorted(series.values)
+
+    def test_standard_probes_track_scheduler_state(self):
+        sim, hv = make_hv(num_pcpus=2)
+        domain = make_domain(hv, vcpus=3)
+        for vcpu in domain.vcpus:
+            spawn_task(vcpu, spin_program())
+        hv.start()
+        sampler = standard_probes(TimelineSampler(sim, period=ms(1)), hv)
+        sampler.start()
+        sim.run(until=ms(20))
+        assert sampler["running_vcpus"].max() == 2     # 2 pCPUs
+        assert sampler["vm_runnable"].max() >= 1       # someone always waits
+        assert sampler["micro_cores"].max() == 0
+
+    def test_micro_pool_growth_visible(self):
+        sim, hv = make_hv(num_pcpus=4)
+        domain = make_domain(hv, vcpus=2)
+        for vcpu in domain.vcpus:
+            spawn_task(vcpu, spin_program())
+        hv.start()
+        sampler = standard_probes(TimelineSampler(sim, period=ms(1)), hv)
+        sampler.start()
+        sim.run(until=ms(5))
+        hv.set_micro_cores(2)
+        sim.run(until=ms(20))
+        changes = sampler["micro_cores"].changes()
+        assert changes[0][1] == 0
+        assert sampler["micro_cores"].last() == 2

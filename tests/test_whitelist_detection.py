@@ -1,0 +1,135 @@
+"""Tests for the Table-3 whitelist and the IP-based detector."""
+
+from repro.core.detection import CriticalServiceDetector
+from repro.core.whitelist import (
+    CRITICAL_SYMBOLS,
+    SIBLING_CLASSES,
+    CriticalClass,
+    classify,
+    is_critical,
+)
+from repro.guest.symbols import DEFAULT_KERNEL_SYMBOLS
+
+from helpers import make_domain, make_hv, spawn_task, spin_program
+
+
+class TestWhitelist:
+    def test_table3_core_entries_present(self):
+        # One representative per Table 3 module.
+        assert classify("irq_enter") == CriticalClass.IRQ
+        assert classify("smp_call_function_many") == CriticalClass.IPI
+        assert classify("native_flush_tlb_others") == CriticalClass.TLB
+        assert classify("get_page_from_freelist") == CriticalClass.MM
+        assert classify("ttwu_do_activate") == CriticalClass.SCHED
+        assert classify("__raw_spin_unlock") == CriticalClass.SPINLOCK
+        assert classify("rwsem_wake") == CriticalClass.RWSEM
+
+    def test_non_critical_symbols(self):
+        assert classify("do_syscall_64") is None
+        assert classify("native_queued_spin_lock_slowpath") is None
+        assert classify(None) is None
+
+    def test_is_critical(self):
+        assert is_critical("flush_tlb_func")
+        assert not is_critical("vfs_read")
+
+    def test_sibling_classes_are_ipi_protocols(self):
+        assert CriticalClass.TLB in SIBLING_CLASSES
+        assert CriticalClass.IPI in SIBLING_CLASSES
+        assert CriticalClass.SPINLOCK not in SIBLING_CLASSES
+
+    def test_every_whitelist_symbol_in_guest_image(self):
+        for name in CRITICAL_SYMBOLS:
+            assert name in DEFAULT_KERNEL_SYMBOLS
+
+
+class TestDetector:
+    def _setup(self):
+        sim, hv = make_hv(num_pcpus=2)
+        domain = make_domain(hv, vcpus=3)
+        return sim, hv, domain
+
+    def test_inspect_user_ip_not_critical(self):
+        _sim, _hv, domain = self._setup()
+        vcpu = domain.vcpus[0]
+        vcpu.current_symbol = None
+        detection = CriticalServiceDetector().inspect(vcpu)
+        assert not detection.critical
+        assert detection.symbol is None
+
+    def test_inspect_critical_symbol(self):
+        _sim, _hv, domain = self._setup()
+        vcpu = domain.vcpus[0]
+        vcpu.current_symbol = "get_page_from_freelist"
+        detection = CriticalServiceDetector().inspect(vcpu)
+        assert detection.critical
+        assert detection.critical_class == CriticalClass.MM
+
+    def test_inspect_noncritical_kernel_symbol(self):
+        _sim, _hv, domain = self._setup()
+        vcpu = domain.vcpus[0]
+        vcpu.current_symbol = "native_queued_spin_lock_slowpath"
+        detection = CriticalServiceDetector().inspect(vcpu)
+        assert detection.symbol == "native_queued_spin_lock_slowpath"
+        assert not detection.critical
+
+    def test_detection_goes_through_address_resolution(self):
+        # The detector must resolve the numeric IP via the symbol table,
+        # not read the symbol name directly.
+        _sim, _hv, domain = self._setup()
+        vcpu = domain.vcpus[0]
+        vcpu.current_symbol = "flush_tlb_func"
+        addr = vcpu.ip
+        assert addr >= domain.kernel.symbols.addr_of("flush_tlb_func")
+        assert domain.kernel.symbols.resolve_name(addr) == "flush_tlb_func"
+
+    def test_scan_preempted_siblings_filters_running_and_blocked(self):
+        _sim, _hv, domain = self._setup()
+        target, running, blocked = domain.vcpus
+        for vcpu in domain.vcpus:
+            vcpu.current_symbol = "release_pages"
+        target.state = "runnable"
+        running.state = "running"
+        blocked.state = "blocked"
+        detector = CriticalServiceDetector()
+        found = detector.scan_preempted_siblings(running)
+        assert [d.vcpu for d in found] == [target]
+
+    def test_scan_skips_non_critical_siblings(self):
+        _sim, _hv, domain = self._setup()
+        a, b, c = domain.vcpus
+        a.state = b.state = c.state = "runnable"
+        a.current_symbol = None
+        b.current_symbol = "do_syscall_64"
+        c.current_symbol = "scheduler_ipi"
+        found = CriticalServiceDetector().scan_preempted_siblings(a)
+        assert [d.vcpu for d in found] == [c]
+
+    def test_hit_statistics(self):
+        _sim, _hv, domain = self._setup()
+        vcpu = domain.vcpus[0]
+        detector = CriticalServiceDetector()
+        vcpu.current_symbol = "irq_exit"
+        detector.inspect(vcpu)
+        vcpu.current_symbol = None
+        detector.inspect(vcpu)
+        assert detector.inspections == 2
+        assert detector.hits == 1
+
+    def test_needs_siblings(self):
+        assert CriticalServiceDetector.needs_siblings(CriticalClass.TLB)
+        assert not CriticalServiceDetector.needs_siblings(CriticalClass.MM)
+
+
+class TestDetectorWithExecutor:
+    def test_descheduled_vcpu_exposes_last_symbol(self):
+        sim, hv = make_hv(num_pcpus=1)
+        domain = make_domain(hv, vcpus=2)
+        spawn_task(domain.vcpus[0], spin_program(symbol="get_page_from_freelist"))
+        spawn_task(domain.vcpus[1], spin_program(symbol=None))
+        hv.start()
+        sim.run(until=35_000_000)  # past one slice: vCPU 0 descheduled
+        preempted = [v for v in domain.vcpus if not v.running]
+        assert preempted
+        symbols = {v.current_symbol for v in preempted}
+        assert symbols & {"get_page_from_freelist", None}

@@ -1,0 +1,187 @@
+"""Tests for workload models and the registry."""
+
+import pytest
+
+from repro.errors import ConfigError, WorkloadError
+from repro.sim.time import ms
+from repro.workloads import registry
+from repro.workloads.base import Workload
+from repro.workloads.cpu_bound import LookbusyWorkload, SwaptionsWorkload
+from repro.workloads.iperf import IperfWorkload
+from repro.workloads.mosbench import EximWorkload, GmakeWorkload
+from repro.workloads.parsec import DedupWorkload
+
+from helpers import make_domain, make_hv
+
+
+class TestRegistry:
+    def test_available_covers_paper_suite(self):
+        names = registry.available()
+        for required in (
+            "swaptions", "lookbusy", "exim", "gmake", "psearchy", "memclone",
+            "dedup", "vips", "blackscholes", "bodytrack", "streamcluster",
+            "raytrace", "perlbench", "sjeng", "bzip2", "iperf",
+        ):
+            assert required in names
+
+    def test_create_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            registry.create("not-a-benchmark")
+
+    def test_create_passes_kwargs(self):
+        workload = registry.create("gmake", user_us=50.0)
+        assert workload.user_ns == 50_000
+
+    def test_factory_functions_accept_name(self):
+        workload = registry.create("perlbench", name="custom")
+        assert workload.name == "custom"
+
+    def test_every_registered_workload_instantiates(self):
+        for name in registry.available():
+            workload = registry.create(name)
+            assert isinstance(workload, Workload)
+
+
+class TestInstallation:
+    def _install(self, workload, vcpus=4, num_pcpus=4):
+        from repro.sim.rng import RngHub
+
+        sim, hv = make_hv(num_pcpus=num_pcpus)
+        domain = make_domain(hv, vcpus=vcpus)
+        workload.install(domain, RngHub(1))
+        return sim, hv, domain
+
+    def test_install_creates_one_task_per_vcpu(self):
+        workload = SwaptionsWorkload()
+        _sim, _hv, domain = self._install(workload)
+        assert len(workload.tasks) == len(domain.vcpus)
+        for task, vcpu in zip(workload.tasks, domain.vcpus):
+            assert task.vcpu is vcpu
+
+    def test_lookbusy_single_thread(self):
+        workload = LookbusyWorkload()
+        self._install(workload)
+        assert len(workload.tasks) == 1
+
+    def test_double_install_rejected(self):
+        workload = SwaptionsWorkload()
+        sim, hv, domain = self._install(workload)
+        with pytest.raises(WorkloadError):
+            workload.install(domain, None)
+
+    def test_iperf_bad_mode_rejected(self):
+        with pytest.raises(WorkloadError):
+            IperfWorkload(mode="sctp")
+
+    def test_iperf_install_wires_nic_and_socket(self):
+        workload = IperfWorkload(mode="udp")
+        sim, hv, domain = self._install(workload, vcpus=1)
+        assert workload.nic is not None
+        assert workload.socket is not None
+        assert domain.kernel.net is not None
+        assert workload.nic in hv.nic_owner
+
+
+class TestExecutionProfiles:
+    """Each model must actually exercise its documented kernel profile."""
+
+    def _run(self, kind, duration_ms=60, vcpus=4, num_pcpus=4, **kwargs):
+        from repro.sim.rng import RngHub
+
+        sim, hv = make_hv(num_pcpus=num_pcpus)
+        domain = make_domain(hv, vcpus=vcpus)
+        workload = registry.create(kind, **kwargs)
+        workload.install(domain, RngHub(1))
+        hv.start()
+        sim.run(until=ms(duration_ms))
+        return hv, domain, workload
+
+    def test_swaptions_pure_user(self):
+        hv, domain, workload = self._run("swaptions")
+        assert workload.progress() > 0
+        assert domain.kernel.tlb.issued == 0
+        assert all(lock.acquisitions == 0 for lock in domain.kernel.all_locks())
+
+    def test_gmake_exercises_all_lock_classes(self):
+        hv, domain, workload = self._run("gmake", duration_ms=100)
+        assert workload.progress() > 0
+        acquisitions = {l.name: l.acquisitions for l in domain.kernel.all_locks()}
+        for name in ("page_alloc", "dentry", "runqueue", "page_reclaim"):
+            assert acquisitions[name] > 0, name
+
+    def test_dedup_issues_shootdowns(self):
+        hv, domain, workload = self._run("dedup", duration_ms=60)
+        assert domain.kernel.tlb.issued > 0
+        assert workload.progress() > 0
+
+    def test_vips_issues_shootdowns(self):
+        hv, domain, workload = self._run("vips", duration_ms=60)
+        assert domain.kernel.tlb.issued > 0
+
+    def test_exim_sends_resched_ipis_and_calls(self):
+        hv, domain, workload = self._run("exim", duration_ms=60)
+        assert workload.progress() > 0
+        assert hv.stats.counters.get("vipi_resched") > 0
+        assert hv.stats.counters.get("vipi_call") > 0
+
+    def test_memclone_hits_page_allocator(self):
+        hv, domain, workload = self._run("memclone", duration_ms=60)
+        page_alloc = domain.kernel.lock("page_alloc")
+        assert page_alloc.acquisitions > 0
+
+    def test_psearchy_sleeps_and_locks(self):
+        hv, domain, workload = self._run("psearchy", duration_ms=100)
+        assert workload.progress() > 0
+        assert hv.stats.counters.get("vipi_resched", 0) + hv.stats.counters.get(
+            "yield_halt", 0
+        ) > 0
+
+    def test_barrier_compute_reaches_barriers(self):
+        hv, domain, workload = self._run("blackscholes", duration_ms=200)
+        assert workload.barrier.generations >= 1
+
+    def test_speccpu_single_threaded(self):
+        hv, domain, workload = self._run("sjeng", duration_ms=60)
+        assert len(workload.tasks) == 1
+        assert workload.progress() > 0
+
+    def test_progress_reset(self):
+        hv, domain, workload = self._run("swaptions", duration_ms=30)
+        assert workload.progress() > 0
+        workload.reset_progress()
+        assert workload.progress() == 0
+
+    def test_rate_computation(self):
+        workload = SwaptionsWorkload()
+        workload.completed = 500
+        assert workload.rate(ms(500)) == pytest.approx(1000.0)
+        assert workload.rate(0) == 0.0
+
+
+class TestIperfExecution:
+    def _run_iperf(self, mode, duration_ms=100):
+        from repro.sim.rng import RngHub
+
+        sim, hv = make_hv(num_pcpus=2)
+        domain = make_domain(hv, vcpus=1)
+        workload = IperfWorkload(mode=mode)
+        workload.install(domain, RngHub(1))
+        hv.start()
+        sim.run(until=ms(duration_ms))
+        return workload
+
+    def test_tcp_flow_delivers(self):
+        workload = self._run_iperf("tcp")
+        extra = workload.extra_results()
+        assert extra["packets"] > 0
+        assert extra["throughput_mbps"] > 100
+
+    def test_udp_flow_respects_rate(self):
+        workload = self._run_iperf("udp")
+        extra = workload.extra_results()
+        assert extra["packets"] > 0
+        assert extra["throughput_mbps"] <= 850  # configured 800 Mbps + slack
+
+    def test_tcp_window_bounds_inflight(self):
+        workload = self._run_iperf("tcp")
+        assert workload._inflight <= workload.window_bytes
