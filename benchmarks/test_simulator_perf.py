@@ -1,9 +1,35 @@
 """Microbenchmarks of the simulation engine itself (sanity that the
-substrate is fast enough for the experiment suite)."""
+substrate is fast enough for the experiment suite).
+
+Besides the pytest-benchmark terminal report, each test folds its
+headline rate into ``BENCH_engine.json`` at the repo root so engine
+tuning PRs have a machine-readable before/after record.
+"""
+
+import json
+from pathlib import Path
 
 from repro.experiments.scenarios import corun_scenario
 from repro.sim.engine import Simulator
 from repro.sim.time import ms
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _record(key, value):
+    """Merge one ``{key: value}`` measurement into BENCH_engine.json."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[key] = round(value, 1)
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _mean(benchmark):
+    return benchmark.stats.stats.mean
 
 
 class TestEngineThroughput:
@@ -17,6 +43,7 @@ class TestEngineThroughput:
 
         events = benchmark(dispatch_10k)
         assert events == 10_000
+        _record("dispatch_events_per_sec", 10_000 / _mean(benchmark))
 
     def test_process_switch_rate(self, benchmark):
         def ping_pong():
@@ -32,16 +59,21 @@ class TestEngineThroughput:
             return sim.now
 
         assert benchmark(ping_pong) == 2_000
+        # Two processes x 2000 resumptions each.
+        _record("process_switches_per_sec", 4_000 / _mean(benchmark))
 
 
 class TestScenarioThroughput:
     def test_corun_simulation_rate(self, benchmark):
         """Simulated-vs-wall time for the standard co-run scenario."""
+        counts = []
 
         def run_50ms():
             system = corun_scenario("gmake").build()
             system.run(ms(50))
-            return system.sim.executed_events
+            counts.append(system.sim.executed_events)
+            return counts[-1]
 
         events = benchmark.pedantic(run_50ms, rounds=1, iterations=1)
         assert events > 0
+        _record("corun_events_per_sec", counts[-1] / _mean(benchmark))

@@ -39,7 +39,11 @@ def _cmd_list(_args):
 
 def _cmd_run(args):
     _results, text = registry.run(
-        args.experiment, seed=args.seed, scale_override=args.scale
+        args.experiment,
+        workers=args.workers,
+        cache=False if args.no_cache else None,
+        seed=args.seed,
+        scale_override=args.scale,
     )
     print(text)
     return 0
@@ -152,6 +156,11 @@ def build_parser():
     run_p.add_argument("--seed", type=int, default=42)
     run_p.add_argument("--scale", type=float, default=None,
                        help="duration multiplier (default: REPRO_BENCH_SCALE or 1.0)")
+    run_p.add_argument("--workers", type=int, default=None,
+                       help="simulation worker processes "
+                       "(default: REPRO_RUNNER_WORKERS or 1)")
+    run_p.add_argument("--no-cache", action="store_true",
+                       help="ignore and do not write the on-disk result cache")
 
     for name, help_text in (
         ("corun", "run a workload co-located with swaptions"),

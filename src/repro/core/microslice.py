@@ -56,8 +56,12 @@ class MicroSliceEngine:
         # IPI waits: the recipients must run to acknowledge; wake and
         # migrate the stragglers (the relay told us who they are).
         if cause == "ipi" and detail is not None and hasattr(detail, "pending"):
-            for target in list(detail.pending):
-                if not target.running:
+            # Walk the op's target tuple, not the pending *set*: set order
+            # hashes object ids, which would make the acceleration order
+            # (and hence micro-pool queueing) vary run to run.
+            pending = detail.pending
+            for target in detail.targets:
+                if target in pending and not target.running:
                     hv.accelerate(target, wake=True)
 
     def on_vipi(self, src, dst, op):

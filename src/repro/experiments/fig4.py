@@ -12,40 +12,68 @@ Paper shapes to reproduce:
   the normal pool.
 """
 
-from ..core.policy import PolicySpec
 from ..metrics.report import render_table
+from ..runner import SimJob, baseline_policy, execute, static_policy
 from . import common
-from .scenarios import corun_scenario
 
 WORKLOADS = ("gmake", "memclone", "dedup", "vips")
 DEFAULT_CORE_COUNTS = (0, 1, 2, 3, 4, 5, 6)
+
+
+def plan(seed=42, scale_override=None, workloads=WORKLOADS, core_counts=DEFAULT_CORE_COUNTS):
+    """One co-run job per (workload, core count) point."""
+    warmup = common.warmup(scale_override)
+    duration = common.scaled(common.CORUN_DURATION, scale_override)
+    return [
+        SimJob(
+            tag="%s:%d" % (kind, cores),
+            scenario="corun",
+            scenario_kwargs={"workload_kind": kind},
+            policy=baseline_policy() if cores == 0 else static_policy(cores),
+            seed=seed,
+            duration_ns=duration,
+            warmup_ns=warmup,
+        )
+        for kind in workloads
+        for cores in core_counts
+    ]
+
+
+def reduce(results):
+    """Fold ``{tag: RunResult}`` into the historical ``run()`` shape."""
+    out = {}
+    bases = {}
+    for tag, res in results.items():
+        kind, cores_text = tag.rsplit(":", 1)
+        cores = int(cores_text)
+        target_rate = res.rate(kind)
+        corunner_rate = res.rate("swaptions")
+        if cores == 0:
+            bases[kind] = (target_rate, corunner_rate)
+        base_target, base_corunner = bases.get(kind, (None, None))
+        out.setdefault(kind, {})[cores] = {
+            "target_rate": target_rate,
+            "corunner_rate": corunner_rate,
+            "target": common.normalized_time(base_target, target_rate),
+            "corunner": common.normalized_time(base_corunner, corunner_rate),
+        }
+    return out
 
 
 def run(seed=42, scale_override=None, workloads=WORKLOADS, core_counts=DEFAULT_CORE_COUNTS):
     """Returns ``{workload: {cores: {"target": norm_time, "corunner":
     norm_time, "target_rate": r, "corunner_rate": r}}}`` where
     normalized execution time is relative to the 0-core baseline."""
-    _w = common.warmup(scale_override)
-    duration = common.scaled(common.CORUN_DURATION, scale_override)
-    results = {}
-    for kind in workloads:
-        per_cores = {}
-        base_target = base_corunner = None
-        for cores in core_counts:
-            policy = PolicySpec.baseline() if cores == 0 else PolicySpec.static(cores)
-            res = corun_scenario(kind, policy=policy, seed=seed).build().run(duration, warmup_ns=_w)
-            target_rate = res.rate(kind)
-            corunner_rate = res.rate("swaptions")
-            if cores == 0:
-                base_target, base_corunner = target_rate, corunner_rate
-            per_cores[cores] = {
-                "target_rate": target_rate,
-                "corunner_rate": corunner_rate,
-                "target": common.normalized_time(base_target, target_rate),
-                "corunner": common.normalized_time(base_corunner, corunner_rate),
-            }
-        results[kind] = per_cores
-    return results
+    return reduce(
+        execute(
+            plan(
+                seed=seed,
+                scale_override=scale_override,
+                workloads=workloads,
+                core_counts=core_counts,
+            )
+        )
+    )
 
 
 def best_core_count(per_cores):

@@ -6,10 +6,9 @@ workload is spinlock/LHP bound, one core covers it) at ~10% swaptions
 cost; psearchy improves ~1.4x.
 """
 
-from ..core.policy import PolicySpec
 from ..metrics.report import render_table
+from ..runner import SimJob, baseline_policy, execute, static_policy
 from . import common
-from .scenarios import corun_scenario
 
 WORKLOADS = ("exim", "psearchy")
 DEFAULT_CORE_COUNTS = (0, 1, 2, 3, 4, 5, 6)
@@ -17,27 +16,54 @@ DEFAULT_CORE_COUNTS = (0, 1, 2, 3, 4, 5, 6)
 PAPER_IMPROVEMENT_AT_1 = {"exim": 3.9, "psearchy": 1.4}
 
 
-def run(seed=42, scale_override=None, workloads=WORKLOADS, core_counts=DEFAULT_CORE_COUNTS):
-    _w = common.warmup(scale_override)
+def plan(seed=42, scale_override=None, workloads=WORKLOADS, core_counts=DEFAULT_CORE_COUNTS):
+    warmup = common.warmup(scale_override)
     duration = common.scaled(common.CORUN_DURATION, scale_override)
-    results = {}
-    for kind in workloads:
-        per_cores = {}
-        base_target = base_corunner = None
-        for cores in core_counts:
-            policy = PolicySpec.baseline() if cores == 0 else PolicySpec.static(cores)
-            res = corun_scenario(kind, policy=policy, seed=seed).build().run(duration, warmup_ns=_w)
-            target_rate = res.rate(kind)
-            corunner_rate = res.rate("swaptions")
-            if cores == 0:
-                base_target, base_corunner = target_rate, corunner_rate
-            per_cores[cores] = {
-                "target_rate": target_rate,
-                "improvement": common.improvement(base_target, target_rate),
-                "corunner": common.normalized_time(base_corunner, corunner_rate),
-            }
-        results[kind] = per_cores
-    return results
+    return [
+        SimJob(
+            tag="%s:%d" % (kind, cores),
+            scenario="corun",
+            scenario_kwargs={"workload_kind": kind},
+            policy=baseline_policy() if cores == 0 else static_policy(cores),
+            seed=seed,
+            duration_ns=duration,
+            warmup_ns=warmup,
+        )
+        for kind in workloads
+        for cores in core_counts
+    ]
+
+
+def reduce(results):
+    out = {}
+    bases = {}
+    for tag, res in results.items():
+        kind, cores_text = tag.rsplit(":", 1)
+        cores = int(cores_text)
+        target_rate = res.rate(kind)
+        corunner_rate = res.rate("swaptions")
+        if cores == 0:
+            bases[kind] = (target_rate, corunner_rate)
+        base_target, base_corunner = bases.get(kind, (None, None))
+        out.setdefault(kind, {})[cores] = {
+            "target_rate": target_rate,
+            "improvement": common.improvement(base_target, target_rate),
+            "corunner": common.normalized_time(base_corunner, corunner_rate),
+        }
+    return out
+
+
+def run(seed=42, scale_override=None, workloads=WORKLOADS, core_counts=DEFAULT_CORE_COUNTS):
+    return reduce(
+        execute(
+            plan(
+                seed=seed,
+                scale_override=scale_override,
+                workloads=workloads,
+                core_counts=core_counts,
+            )
+        )
+    )
 
 
 def format_result(results):

@@ -7,38 +7,52 @@ target: dynamic tracks the static best closely (within a few percent,
 occasionally better) and always beats the baseline.
 """
 
-from ..core.policy import PolicySpec
 from ..metrics.report import render_table
+from ..runner import SimJob, execute
 from . import common
-from .scenarios import corun_scenario
 
 WORKLOADS = ("gmake", "memclone", "dedup", "vips", "exim", "psearchy")
 
+SCHEMES = ("baseline", "static", "dynamic")
 
-def run(seed=42, scale_override=None, workloads=WORKLOADS):
-    _w = common.warmup(scale_override)
+
+def plan(seed=42, scale_override=None, workloads=WORKLOADS):
+    warmup = common.warmup(scale_override)
     duration = common.scaled(common.DYNAMIC_DURATION, scale_override)
-    results = {}
-    for kind in workloads:
-        best = common.STATIC_BEST.get(kind, 1)
-        runs = {}
-        for label, policy in (
-            ("baseline", PolicySpec.baseline()),
-            ("static", PolicySpec.static(best)),
-            ("dynamic", common.dynamic_policy()),
-        ):
-            res = corun_scenario(kind, policy=policy, seed=seed).build().run(duration, warmup_ns=_w)
-            runs[label] = {
-                "target_rate": res.rate(kind),
-                "corunner_rate": res.rate("swaptions"),
-                "micro_cores": res.micro_cores,
-                "decisions": res.adaptive_decisions,
-            }
+    return [
+        SimJob(
+            tag="%s:%s" % (kind, label),
+            scenario="corun",
+            scenario_kwargs={"workload_kind": kind},
+            policy=common.scheme_policy(label, common.STATIC_BEST.get(kind, 1)),
+            seed=seed,
+            duration_ns=duration,
+            warmup_ns=warmup,
+        )
+        for kind in workloads
+        for label in SCHEMES
+    ]
+
+
+def reduce(results):
+    out = {}
+    for tag, res in results.items():
+        kind, label = tag.rsplit(":", 1)
+        out.setdefault(kind, {})[label] = {
+            "target_rate": res.rate(kind),
+            "corunner_rate": res.rate("swaptions"),
+            "micro_cores": res.micro_cores,
+            "decisions": res.adaptive_decisions,
+        }
+    for runs in out.values():
         base = runs["baseline"]["target_rate"]
         for label in runs:
             runs[label]["improvement"] = common.improvement(base, runs[label]["target_rate"])
-        results[kind] = runs
-    return results
+    return out
+
+
+def run(seed=42, scale_override=None, workloads=WORKLOADS):
+    return reduce(execute(plan(seed=seed, scale_override=scale_override, workloads=workloads)))
 
 
 def format_result(results):

@@ -9,34 +9,45 @@ yields for the lock-bound ones), and overall yields drop well below the
 baseline.
 """
 
-from ..core.policy import PolicySpec
 from ..hypervisor.stats import YIELD_CAUSES
 from ..metrics.report import render_table
+from ..runner import SimJob, execute
 from . import common
-from .scenarios import corun_scenario
 
 WORKLOADS = ("gmake", "memclone", "dedup", "vips", "exim", "psearchy")
 SCHEMES = ("baseline", "static", "dynamic")
 
 
-def run(seed=42, scale_override=None, workloads=WORKLOADS):
-    _w = common.warmup(scale_override)
+def plan(seed=42, scale_override=None, workloads=WORKLOADS):
+    warmup = common.warmup(scale_override)
     duration = common.scaled(common.DYNAMIC_DURATION, scale_override)
-    results = {}
-    for kind in workloads:
-        best = common.STATIC_BEST.get(kind, 1)
-        per_scheme = {}
-        for label, policy in (
-            ("baseline", PolicySpec.baseline()),
-            ("static", PolicySpec.static(best)),
-            ("dynamic", common.dynamic_policy()),
-        ):
-            res = corun_scenario(kind, policy=policy, seed=seed).build().run(duration, warmup_ns=_w)
-            causes = res.yields_by_cause("vm1")
-            causes["total"] = sum(causes.get(c, 0) for c in YIELD_CAUSES)
-            per_scheme[label] = causes
-        results[kind] = per_scheme
-    return results
+    return [
+        SimJob(
+            tag="%s:%s" % (kind, label),
+            scenario="corun",
+            scenario_kwargs={"workload_kind": kind},
+            policy=common.scheme_policy(label, common.STATIC_BEST.get(kind, 1)),
+            seed=seed,
+            duration_ns=duration,
+            warmup_ns=warmup,
+        )
+        for kind in workloads
+        for label in SCHEMES
+    ]
+
+
+def reduce(results):
+    out = {}
+    for tag, res in results.items():
+        kind, label = tag.rsplit(":", 1)
+        causes = res.yields_by_cause("vm1")
+        causes["total"] = sum(causes.get(c, 0) for c in YIELD_CAUSES)
+        out.setdefault(kind, {})[label] = causes
+    return out
+
+
+def run(seed=42, scale_override=None, workloads=WORKLOADS):
+    return reduce(execute(plan(seed=seed, scale_override=scale_override, workloads=workloads)))
 
 
 def format_result(results):

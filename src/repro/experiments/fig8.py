@@ -8,10 +8,9 @@ controller's profiling leaves these workloads essentially untouched
 (within a few percent of baseline).
 """
 
-from ..core.policy import PolicySpec
 from ..metrics.report import render_table
+from ..runner import SimJob, execute
 from . import common
-from .scenarios import corun_scenario
 
 WORKLOADS = (
     "blackscholes",
@@ -23,23 +22,47 @@ WORKLOADS = (
     "bzip2",
 )
 
+SCHEMES = ("baseline", "dynamic")
 
-def run(seed=42, scale_override=None, workloads=WORKLOADS):
-    _w = common.warmup(scale_override)
+
+def plan(seed=42, scale_override=None, workloads=WORKLOADS):
+    warmup = common.warmup(scale_override)
     duration = common.scaled(common.DYNAMIC_DURATION, scale_override)
-    results = {}
-    for kind in workloads:
-        base = corun_scenario(kind, policy=PolicySpec.baseline(), seed=seed).build().run(duration, warmup_ns=_w)
-        dyn = corun_scenario(kind, policy=common.dynamic_policy(), seed=seed).build().run(duration, warmup_ns=_w)
-        base_rate = base.rate(kind)
-        dyn_rate = dyn.rate(kind)
-        results[kind] = {
+    return [
+        SimJob(
+            tag="%s:%s" % (kind, label),
+            scenario="corun",
+            scenario_kwargs={"workload_kind": kind},
+            policy=common.scheme_policy(label),
+            seed=seed,
+            duration_ns=duration,
+            warmup_ns=warmup,
+        )
+        for kind in workloads
+        for label in SCHEMES
+    ]
+
+
+def reduce(results):
+    rates = {}
+    for tag, res in results.items():
+        kind, label = tag.rsplit(":", 1)
+        rates.setdefault(kind, {})[label] = res.rate(kind)
+    out = {}
+    for kind, per_scheme in rates.items():
+        base_rate = per_scheme["baseline"]
+        dyn_rate = per_scheme["dynamic"]
+        out[kind] = {
             "baseline_rate": base_rate,
             "dynamic_rate": dyn_rate,
             "norm_time": common.normalized_time(base_rate, dyn_rate),
             "overhead_pct": 100.0 * (1.0 - dyn_rate / base_rate) if base_rate else 0.0,
         }
-    return results
+    return out
+
+
+def run(seed=42, scale_override=None, workloads=WORKLOADS):
+    return reduce(execute(plan(seed=seed, scale_override=scale_override, workloads=workloads)))
 
 
 def format_result(results):

@@ -10,34 +10,62 @@ Reproduction targets (paper): TCP and UDP bandwidth improve markedly
 under the micro-sliced scheme; jitter collapses from ~8 ms to ~0.
 """
 
-from ..core.policy import PolicySpec
 from ..metrics.report import render_table
+from ..runner import SimJob, baseline_policy, execute, static_policy
 from . import common
-from .scenarios import mixed_io_scenario, solo_io_scenario
 
 MODES = ("tcp", "udp")
 
+CONFIGS = ("solo", "baseline", "microsliced")
+
+
+def plan(seed=42, scale_override=None, modes=MODES):
+    warmup = common.warmup(scale_override)
+    duration = common.scaled(common.IO_DURATION, scale_override)
+    jobs = []
+    for mode in modes:
+        jobs.append(
+            SimJob(
+                tag="%s:solo" % mode,
+                scenario="solo_io",
+                scenario_kwargs={"mode": mode},
+                policy=baseline_policy(),
+                seed=seed,
+                duration_ns=duration,
+                warmup_ns=warmup,
+            )
+        )
+        for label, policy in (("baseline", baseline_policy()), ("microsliced", static_policy(1))):
+            jobs.append(
+                SimJob(
+                    tag="%s:%s" % (mode, label),
+                    scenario="mixed_io",
+                    scenario_kwargs={"mode": mode},
+                    policy=policy,
+                    seed=seed,
+                    duration_ns=duration,
+                    warmup_ns=warmup,
+                )
+            )
+    return jobs
+
+
+def reduce(results):
+    out = {}
+    for tag, res in results.items():
+        mode, label = tag.rsplit(":", 1)
+        out.setdefault(mode, {})[label] = res.workload("iperf").extra
+    return out
+
 
 def run(seed=42, scale_override=None, modes=MODES):
-    _w = common.warmup(scale_override)
-    duration = common.scaled(common.IO_DURATION, scale_override)
-    results = {}
-    for mode in modes:
-        solo = solo_io_scenario(mode=mode, seed=seed).build().run(duration, warmup_ns=_w)
-        base = mixed_io_scenario(mode=mode, policy=PolicySpec.baseline(), seed=seed).build().run(duration, warmup_ns=_w)
-        micro = mixed_io_scenario(mode=mode, policy=PolicySpec.static(1), seed=seed).build().run(duration, warmup_ns=_w)
-        results[mode] = {
-            "solo": solo.workload("iperf").extra,
-            "baseline": base.workload("iperf").extra,
-            "microsliced": micro.workload("iperf").extra,
-        }
-    return results
+    return reduce(execute(plan(seed=seed, scale_override=scale_override, modes=modes)))
 
 
 def format_result(results):
     rows = []
     for mode, configs in results.items():
-        for label in ("solo", "baseline", "microsliced"):
+        for label in CONFIGS:
             io = configs[label]
             rows.append(
                 [

@@ -2,6 +2,7 @@
 harness)."""
 
 from ..errors import ConfigError
+from .. import runner
 from . import fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table4a, table4b, table4c
 
 _EXPERIMENTS = {
@@ -32,8 +33,14 @@ def get(name):
     return module
 
 
-def run(name, **kwargs):
-    """Run one experiment; returns ``(results, formatted_text)``."""
+def run(name, workers=None, cache=None, **kwargs):
+    """Run one experiment; returns ``(results, formatted_text)``.
+
+    ``workers``/``cache`` pass through to :func:`repro.runner.execute`
+    (None = environment defaults); every experiment module exposes
+    ``plan()``/``reduce()``, so the registry drives the shared executor
+    rather than each module's serial ``run()``.
+    """
     module = get(name)
-    results = module.run(**kwargs)
+    results = module.reduce(runner.execute(module.plan(**kwargs), workers=workers, cache=cache))
     return results, module.format_result(results)

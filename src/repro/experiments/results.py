@@ -1,5 +1,18 @@
 """Result collection for experiment runs."""
 
+import copy
+
+
+def _jsonable(value):
+    """Recursively normalize a result payload to JSON-native types
+    (tuples become lists) so that a cached round-trip through JSON is
+    bit-identical to the in-memory value."""
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
 
 class WorkloadResult:
     """Progress + workload-specific extras for one installed workload."""
@@ -52,6 +65,53 @@ class RunResult:
         controller = getattr(hv.policy, "controller", None)
         if controller is not None:
             result.adaptive_decisions = list(controller.decisions)
+        return result
+
+    # ------------------------------------------------------------------
+    # serialization (used by the parallel runner and the result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """JSON-serializable snapshot of every collected field."""
+        return {
+            "scenario_name": self.scenario_name,
+            "duration_ns": self.duration_ns,
+            "workloads": {
+                key: {
+                    "progress": workload.progress,
+                    "rate": workload.rate,
+                    "extra": _jsonable(workload.extra),
+                }
+                for key, workload in self.workloads.items()
+            },
+            "hv_counters": _jsonable(self.hv_counters),
+            "domain_yields": _jsonable(self.domain_yields),
+            "domain_counters": _jsonable(self.domain_counters),
+            "lockstats": _jsonable(self.lockstats),
+            "tlb_stats": _jsonable(self.tlb_stats),
+            "micro_cores": self.micro_cores,
+            "utilization": self.utilization,
+            "adaptive_decisions": _jsonable(self.adaptive_decisions),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a result from :meth:`to_dict` output. The payload is
+        deep-copied so several hydrated results never share state (some
+        reducers annotate the nested dicts in place)."""
+        payload = copy.deepcopy(payload)
+        result = cls(payload["scenario_name"], payload["duration_ns"])
+        result.workloads = {
+            key: WorkloadResult(key, entry["progress"], entry["rate"], entry["extra"])
+            for key, entry in payload["workloads"].items()
+        }
+        result.hv_counters = payload["hv_counters"]
+        result.domain_yields = payload["domain_yields"]
+        result.domain_counters = payload["domain_counters"]
+        result.lockstats = payload["lockstats"]
+        result.tlb_stats = payload["tlb_stats"]
+        result.micro_cores = payload["micro_cores"]
+        result.utilization = payload["utilization"]
+        result.adaptive_decisions = payload["adaptive_decisions"]
         return result
 
     # ------------------------------------------------------------------

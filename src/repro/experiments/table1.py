@@ -18,64 +18,91 @@ kernel paths but taxes the CPU-bound co-runner; the paper's scheme
 helps all three.
 """
 
-from ..core.comparators import VTrsPolicy, VTurboPolicy
-from ..core.policy import PolicySpec
 from ..metrics.report import render_table
+from ..runner import (
+    SimJob,
+    baseline_policy,
+    execute,
+    static_policy,
+    vtrs_policy,
+    vturbo_policy,
+)
 from ..sim.time import us
 from . import common
-from .scenarios import corun_scenario, mixed_io_scenario
 
 SCHEMES = ("baseline", "microsliced", "vturbo", "vtrs", "fixed_uslice")
 
 
-def _build_with_policy(scenario, scheme, micro_cores):
+def _scheme_policy(scheme, micro_cores):
+    """Policy descriptor (+ config overrides) for a Table-1 scheme."""
     if scheme == "microsliced":
-        scenario.policy = PolicySpec.static(micro_cores)
-        return scenario.build()
-    if scheme == "fixed_uslice":
-        scenario.normal_slice = us(100)
-        return scenario.build()
-    system = scenario.build()
+        return static_policy(micro_cores), {}
     if scheme == "vturbo":
-        system.hv.set_policy(VTurboPolicy(turbo_cores=1))
-    elif scheme == "vtrs":
-        system.hv.set_policy(VTrsPolicy(pool_cores=micro_cores))
-    return system
+        return vturbo_policy(turbo_cores=1), {}
+    if scheme == "vtrs":
+        return vtrs_policy(pool_cores=micro_cores), {}
+    if scheme == "fixed_uslice":
+        return baseline_policy(), {"normal_slice": us(100)}
+    return baseline_policy(), {}
+
+
+#: (symptom tag, scenario, scenario kwargs, micro cores, duration key)
+_SYMPTOMS = (
+    ("lock", "corun", {"workload_kind": "exim"}, 1, "corun"),
+    ("tlb", "corun", {"workload_kind": "vips"}, 3, "corun"),
+    ("io", "mixed_io", {}, 1, "io"),
+)
+
+
+def plan(seed=42, scale_override=None, schemes=SCHEMES):
+    warmup = common.warmup(scale_override)
+    durations = {
+        "corun": common.scaled(common.CORUN_DURATION, scale_override),
+        "io": common.scaled(common.IO_DURATION, scale_override),
+    }
+    jobs = []
+    for scheme in schemes:
+        for symptom, scenario, kwargs, micro_cores, dkey in _SYMPTOMS:
+            policy, overrides = _scheme_policy(scheme, micro_cores)
+            jobs.append(
+                SimJob(
+                    tag="%s:%s" % (scheme, symptom),
+                    scenario=scenario,
+                    scenario_kwargs=kwargs,
+                    policy=policy,
+                    overrides=overrides,
+                    seed=seed,
+                    duration_ns=durations[dkey],
+                    warmup_ns=warmup,
+                )
+            )
+    return jobs
+
+
+def reduce(results):
+    out = {}
+    for tag, res in results.items():
+        scheme, symptom = tag.rsplit(":", 1)
+        entry = out.setdefault(scheme, {})
+        if symptom == "lock":
+            entry["lock"] = res.rate("exim")
+            entry["corunner"] = res.rate("swaptions")
+        elif symptom == "tlb":
+            entry["tlb"] = res.rate("vips")
+        elif symptom == "io":
+            entry["io"] = res.workload("iperf").extra["throughput_mbps"]
+            entry["cotask"] = res.rate("vm1:lookbusy")
+    base = out.get(
+        "baseline", {"lock": 1, "tlb": 1, "io": 1, "corunner": 1, "cotask": 1}
+    )
+    for scheme, entry in out.items():
+        for key in ("lock", "tlb", "io", "corunner", "cotask"):
+            entry[key + "_x"] = common.improvement(base[key], entry[key])
+    return out
 
 
 def run(seed=42, scale_override=None, schemes=SCHEMES):
-    _w = common.warmup(scale_override)
-    corun_t = common.scaled(common.CORUN_DURATION, scale_override)
-    io_t = common.scaled(common.IO_DURATION, scale_override)
-    results = {}
-
-    for scheme in schemes:
-        entry = {}
-        # Lock-holder preemption symptom (plus the CPU-bound
-        # co-runner's cost — where fixed micro-slicing pays).
-        system = _build_with_policy(corun_scenario("exim", seed=seed), scheme, 1)
-        res = system.run(corun_t, warmup_ns=_w)
-        entry["lock"] = res.rate("exim")
-        entry["corunner"] = res.rate("swaptions")
-        # TLB/IPI symptom.
-        system = _build_with_policy(corun_scenario("vips", seed=seed), scheme, 3)
-        res = system.run(corun_t, warmup_ns=_w)
-        entry["tlb"] = res.rate("vips")
-        # Mixed I/O symptom (plus the compute task sharing the vCPU —
-        # where whole-vCPU classification pays).
-        system = _build_with_policy(mixed_io_scenario(seed=seed), scheme, 1)
-        res = system.run(io_t, warmup_ns=_w)
-        entry["io"] = res.workload("iperf").extra["throughput_mbps"]
-        entry["cotask"] = res.rate("vm1:lookbusy")
-        results[scheme] = entry
-
-    base = results.get(
-        "baseline", {"lock": 1, "tlb": 1, "io": 1, "corunner": 1, "cotask": 1}
-    )
-    for scheme, entry in results.items():
-        for key in ("lock", "tlb", "io", "corunner", "cotask"):
-            entry[key + "_x"] = common.improvement(base[key], entry[key])
-    return results
+    return reduce(execute(plan(seed=seed, scale_override=scale_override, schemes=schemes)))
 
 
 def format_result(results):

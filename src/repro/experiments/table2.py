@@ -17,9 +17,9 @@ costs), the solo≪co-run relationship is the result.
 """
 
 from ..metrics.report import render_table
+from ..runner import SimJob, execute
 from ..sim.time import to_seconds
 from . import common
-from .scenarios import corun_scenario, solo_scenario
 
 WORKLOADS = ("exim", "gmake", "dedup", "vips")
 
@@ -31,24 +31,52 @@ PAPER = {
 }
 
 
-def run(seed=42, scale_override=None):
-    """Returns ``{workload: {"solo": n, "corun": n, ...}}``."""
-    _w = common.warmup(scale_override)
+def plan(seed=42, scale_override=None, workloads=WORKLOADS):
+    warmup = common.warmup(scale_override)
     solo_t = common.scaled(common.SOLO_DURATION, scale_override)
     corun_t = common.scaled(common.CORUN_DURATION, scale_override)
-    results = {}
-    for kind in WORKLOADS:
-        solo = solo_scenario(kind, seed=seed).build().run(solo_t, warmup_ns=_w)
-        corun = corun_scenario(kind, seed=seed).build().run(corun_t, warmup_ns=_w)
-        solo_rate = solo.total_yields("vm1") / to_seconds(solo_t)
-        corun_rate = corun.total_yields("vm1") / to_seconds(corun_t)
+    jobs = []
+    for kind in workloads:
+        jobs.append(
+            SimJob(
+                tag="%s:solo" % kind,
+                scenario="solo",
+                scenario_kwargs={"workload_kind": kind},
+                seed=seed,
+                duration_ns=solo_t,
+                warmup_ns=warmup,
+            )
+        )
+        jobs.append(
+            SimJob(
+                tag="%s:corun" % kind,
+                scenario="corun",
+                scenario_kwargs={"workload_kind": kind},
+                seed=seed,
+                duration_ns=corun_t,
+                warmup_ns=warmup,
+            )
+        )
+    return jobs
+
+
+def reduce(results):
+    grouped = {}
+    for tag, res in results.items():
+        kind, label = tag.rsplit(":", 1)
+        grouped.setdefault(kind, {})[label] = res
+    out = {}
+    for kind, pair in grouped.items():
+        solo, corun = pair["solo"], pair["corun"]
+        solo_rate = solo.total_yields("vm1") / to_seconds(solo.duration_ns)
+        corun_rate = corun.total_yields("vm1") / to_seconds(corun.duration_ns)
         # The paper counts yields over *complete benchmark runs* — a
         # fixed amount of work, not a fixed wall-clock window. The
         # comparable statistic is therefore yields per unit of completed
         # work.
         solo_per_work = solo.total_yields("vm1") / max(solo.workload(kind).progress, 1)
         corun_per_work = corun.total_yields("vm1") / max(corun.workload(kind).progress, 1)
-        results[kind] = {
+        out[kind] = {
             "solo": solo.total_yields("vm1"),
             "corun": corun.total_yields("vm1"),
             "solo_per_sec": solo_rate,
@@ -59,7 +87,12 @@ def run(seed=42, scale_override=None):
             if solo_per_work
             else float("inf"),
         }
-    return results
+    return out
+
+
+def run(seed=42, scale_override=None):
+    """Returns ``{workload: {"solo": n, "corun": n, ...}}``."""
+    return reduce(execute(plan(seed=seed, scale_override=scale_override)))
 
 
 def format_result(results):

@@ -16,8 +16,8 @@ magnitude higher under consolidation (lock-holder preemption).
 """
 
 from ..metrics.report import render_table
+from ..runner import SimJob, execute
 from . import common
-from .scenarios import corun_scenario, solo_scenario
 
 COMPONENTS = ("page_reclaim", "page_alloc", "dentry", "runqueue")
 
@@ -29,23 +29,45 @@ PAPER = {
 }
 
 
-def run(seed=42, scale_override=None):
-    _w = common.warmup(scale_override)
-    solo_t = common.scaled(common.SOLO_DURATION, scale_override)
-    corun_t = common.scaled(common.CORUN_DURATION, scale_override)
-    solo = solo_scenario("gmake", seed=seed).build().run(solo_t, warmup_ns=_w)
-    corun = corun_scenario("gmake", seed=seed).build().run(corun_t, warmup_ns=_w)
-    results = {}
+def plan(seed=42, scale_override=None):
+    warmup = common.warmup(scale_override)
+    return [
+        SimJob(
+            tag="solo",
+            scenario="solo",
+            scenario_kwargs={"workload_kind": "gmake"},
+            seed=seed,
+            duration_ns=common.scaled(common.SOLO_DURATION, scale_override),
+            warmup_ns=warmup,
+        ),
+        SimJob(
+            tag="corun",
+            scenario="corun",
+            scenario_kwargs={"workload_kind": "gmake"},
+            seed=seed,
+            duration_ns=common.scaled(common.CORUN_DURATION, scale_override),
+            warmup_ns=warmup,
+        ),
+    ]
+
+
+def reduce(results):
+    solo, corun = results["solo"], results["corun"]
+    out = {}
     for component in COMPONENTS:
         solo_stat = solo.lockstats["vm1"].get(component)
         corun_stat = corun.lockstats["vm1"].get(component)
-        results[component] = {
+        out[component] = {
             "solo_us": (solo_stat["mean"] / 1000.0) if solo_stat else 0.0,
             "corun_us": (corun_stat["mean"] / 1000.0) if corun_stat else 0.0,
             "solo_count": solo_stat["count"] if solo_stat else 0,
             "corun_count": corun_stat["count"] if corun_stat else 0,
         }
-    return results
+    return out
+
+
+def run(seed=42, scale_override=None):
+    return reduce(execute(plan(seed=seed, scale_override=scale_override)))
 
 
 def format_result(results):

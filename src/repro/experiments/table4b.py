@@ -15,8 +15,8 @@ Reproduction target: tens of µs solo, milliseconds under co-run.
 """
 
 from ..metrics.report import render_table
+from ..runner import SimJob, execute
 from . import common
-from .scenarios import corun_scenario, solo_scenario
 
 WORKLOADS = ("dedup", "vips")
 
@@ -35,19 +35,45 @@ def _stat_us(stat):
     }
 
 
-def run(seed=42, scale_override=None):
-    _w = common.warmup(scale_override)
+def plan(seed=42, scale_override=None, workloads=WORKLOADS):
+    warmup = common.warmup(scale_override)
     solo_t = common.scaled(common.SOLO_DURATION, scale_override)
     corun_t = common.scaled(common.CORUN_DURATION, scale_override)
-    results = {}
-    for kind in WORKLOADS:
-        solo = solo_scenario(kind, seed=seed).build().run(solo_t, warmup_ns=_w)
-        corun = corun_scenario(kind, seed=seed).build().run(corun_t, warmup_ns=_w)
-        results[kind] = {
-            "solo": _stat_us(solo.tlb_stats["vm1"]),
-            "corun": _stat_us(corun.tlb_stats["vm1"]),
-        }
-    return results
+    jobs = []
+    for kind in workloads:
+        jobs.append(
+            SimJob(
+                tag="%s:solo" % kind,
+                scenario="solo",
+                scenario_kwargs={"workload_kind": kind},
+                seed=seed,
+                duration_ns=solo_t,
+                warmup_ns=warmup,
+            )
+        )
+        jobs.append(
+            SimJob(
+                tag="%s:corun" % kind,
+                scenario="corun",
+                scenario_kwargs={"workload_kind": kind},
+                seed=seed,
+                duration_ns=corun_t,
+                warmup_ns=warmup,
+            )
+        )
+    return jobs
+
+
+def reduce(results):
+    out = {}
+    for tag, res in results.items():
+        kind, config = tag.rsplit(":", 1)
+        out.setdefault(kind, {})[config] = _stat_us(res.tlb_stats["vm1"])
+    return out
+
+
+def run(seed=42, scale_override=None):
+    return reduce(execute(plan(seed=seed, scale_override=scale_override)))
 
 
 def format_result(results):

@@ -17,21 +17,41 @@ runnable vCPU).
 """
 
 from ..metrics.report import render_table
+from ..runner import SimJob, execute
 from . import common
-from .scenarios import mixed_io_scenario, solo_io_scenario
 
 PAPER = {"solo": (0.0043, 936.3), "mixed": (9.2507, 435.6)}
 
 
-def run(seed=42, scale_override=None):
-    _w = common.warmup(scale_override)
+def plan(seed=42, scale_override=None):
+    warmup = common.warmup(scale_override)
     duration = common.scaled(common.IO_DURATION, scale_override)
-    solo = solo_io_scenario(mode="tcp", seed=seed).build().run(duration, warmup_ns=_w)
-    mixed = mixed_io_scenario(mode="tcp", seed=seed).build().run(duration, warmup_ns=_w)
-    return {
-        "solo": solo.workload("iperf").extra,
-        "mixed": mixed.workload("iperf").extra,
-    }
+    return [
+        SimJob(
+            tag="solo",
+            scenario="solo_io",
+            scenario_kwargs={"mode": "tcp"},
+            seed=seed,
+            duration_ns=duration,
+            warmup_ns=warmup,
+        ),
+        SimJob(
+            tag="mixed",
+            scenario="mixed_io",
+            scenario_kwargs={"mode": "tcp"},
+            seed=seed,
+            duration_ns=duration,
+            warmup_ns=warmup,
+        ),
+    ]
+
+
+def reduce(results):
+    return {tag: res.workload("iperf").extra for tag, res in results.items()}
+
+
+def run(seed=42, scale_override=None):
+    return reduce(execute(plan(seed=seed, scale_override=scale_override)))
 
 
 def format_result(results):

@@ -1,0 +1,42 @@
+"""Declarative experiment execution: job plans, a parallel executor,
+and a content-addressed result cache.
+
+Every experiment module now splits into ``plan()`` (emit a list of
+:class:`SimJob` specs) and ``reduce()`` (fold ``{tag: RunResult}`` back
+into the historical result shape); ``run()`` is simply
+``reduce(execute(plan(...)))``. Because jobs are self-describing and
+deterministic, :func:`execute` can fan them out over worker processes
+(``REPRO_RUNNER_WORKERS`` / ``--workers``) and replay any point it has
+simulated before from ``.repro-cache/`` (``REPRO_CACHE=off`` /
+``--no-cache`` to disable).
+"""
+
+from . import cache
+from .executor import ENV_WORKERS, default_workers, execute
+from .jobs import (
+    SimJob,
+    baseline_policy,
+    build_system,
+    dynamic_policy,
+    run_job,
+    static_policy,
+    vtrs_policy,
+    vturbo_policy,
+    yield_only_policy,
+)
+
+__all__ = [
+    "ENV_WORKERS",
+    "SimJob",
+    "baseline_policy",
+    "build_system",
+    "cache",
+    "default_workers",
+    "dynamic_policy",
+    "execute",
+    "run_job",
+    "static_policy",
+    "vtrs_policy",
+    "vturbo_policy",
+    "yield_only_policy",
+]

@@ -1,0 +1,129 @@
+"""Content-addressed on-disk cache for simulation job results.
+
+Every :class:`~repro.runner.jobs.SimJob` hashes its canonical spec plus
+a *code-version salt* (a digest over the ``repro`` package sources) to
+a cache key; results are persisted as one JSON file per key under
+``.repro-cache/``. Because simulations are deterministic functions of
+their spec, a hit can be replayed instead of re-simulated — repeated
+``repro run`` or pytest invocations skip every already-simulated
+point. Any source change rolls the salt, so stale results can never be
+replayed against new code.
+
+Environment knobs:
+
+* ``REPRO_CACHE=off`` disables the cache entirely;
+* ``REPRO_CACHE_DIR`` relocates it (default: ``.repro-cache/`` under
+  the current working directory).
+
+Corrupt or poisoned cache files are ignored with a ``RuntimeWarning``
+and transparently re-simulated, never crash a run.
+"""
+
+import hashlib
+import json
+import os
+import warnings
+from functools import lru_cache
+from pathlib import Path
+
+ENV_TOGGLE = "REPRO_CACHE"
+ENV_DIR = "REPRO_CACHE_DIR"
+DEFAULT_DIR = ".repro-cache"
+
+#: Bump to invalidate every existing entry on a format change.
+FORMAT = 1
+
+_OFF_VALUES = ("off", "0", "false", "no", "disabled")
+
+
+def enabled():
+    """Whether the cache is on (``REPRO_CACHE`` not set to an off value)."""
+    return os.environ.get(ENV_TOGGLE, "on").strip().lower() not in _OFF_VALUES
+
+
+def cache_dir(override=None):
+    """Resolve the cache directory (override > env > default)."""
+    if override is not None:
+        return Path(override)
+    return Path(os.environ.get(ENV_DIR) or DEFAULT_DIR)
+
+
+@lru_cache(maxsize=1)
+def code_salt():
+    """Digest of every ``repro`` source file; part of each cache key so
+    edits to the simulator invalidate previously cached results."""
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(path.relative_to(package_root).as_posix().encode())
+        digest.update(b"\0")
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            continue
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def job_key(job):
+    """Content hash identifying one simulation point at one code version."""
+    blob = "%d|%s|%s" % (FORMAT, code_salt(), job.canonical())
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def entry_path(key, override=None):
+    return cache_dir(override) / ("%s.json" % key)
+
+
+def load(key, override=None):
+    """Return the cached result payload for ``key``, or ``None`` on a
+    miss. Unreadable or poisoned entries warn and count as misses."""
+    path = entry_path(key, override)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, UnicodeDecodeError) as err:
+        warnings.warn(
+            "ignoring corrupt result cache entry %s (%s); re-simulating" % (path, err),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != FORMAT
+        or payload.get("key") != key
+        or not isinstance(payload.get("result"), dict)
+    ):
+        warnings.warn(
+            "ignoring malformed result cache entry %s; re-simulating" % path,
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return payload["result"]
+
+
+def store(key, job, result, override=None):
+    """Persist one job result. Writes are atomic (tmp + rename) so a
+    crashed run can at worst leave a stale tmp file, never a torn
+    entry. Failures degrade to a warning — caching is best-effort."""
+    directory = cache_dir(override)
+    path = entry_path(key, override)
+    tmp = directory / ("%s.tmp.%d" % (key, os.getpid()))
+    blob = json.dumps(
+        {"format": FORMAT, "key": key, "job": job.to_dict(), "result": result},
+        sort_keys=True,
+    )
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(blob, encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError as err:
+        warnings.warn(
+            "could not write result cache entry %s (%s)" % (path, err),
+            RuntimeWarning,
+            stacklevel=2,
+        )

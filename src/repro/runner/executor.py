@@ -1,0 +1,95 @@
+"""Parallel job execution.
+
+:func:`execute` takes the declarative job plan an experiment emitted
+and returns ``{tag: RunResult}``. Within one call it:
+
+1. deduplicates jobs whose canonical specs coincide (several tags can
+   describe the same physical simulation);
+2. replays every point already present in the on-disk result cache;
+3. fans the remaining simulations out over a ``multiprocessing`` pool
+   (``spawn`` start method — jobs are plain picklable specs and the
+   scenario is rebuilt inside the worker), or runs them inline when
+   ``workers <= 1``.
+
+``REPRO_RUNNER_WORKERS`` sets the default pool size (1 = serial);
+``REPRO_CACHE=off`` disables result caching. Explicit arguments win
+over both knobs.
+"""
+
+import multiprocessing
+import os
+
+from ..errors import ConfigError
+from . import cache as result_cache
+from .jobs import SimJob, run_job
+
+ENV_WORKERS = "REPRO_RUNNER_WORKERS"
+
+
+def default_workers():
+    """Worker count from ``REPRO_RUNNER_WORKERS`` (default: 1, serial)."""
+    raw = os.environ.get(ENV_WORKERS, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _run_job_payload(job_dict):
+    """Worker entry point: rebuild the job spec and simulate it. Module
+    level (not a closure) so the spawn start method can import it."""
+    return run_job(SimJob.from_dict(job_dict))
+
+
+def _simulate(jobs, workers):
+    """Run ``jobs`` and return their payloads in order."""
+    if workers <= 1 or len(jobs) <= 1:
+        return [run_job(job) for job in jobs]
+    context = multiprocessing.get_context("spawn")
+    processes = min(workers, len(jobs))
+    with context.Pool(processes=processes) as pool:
+        return pool.map(_run_job_payload, [job.to_dict() for job in jobs])
+
+
+def execute(jobs, workers=None, cache=None, cache_dir=None):
+    """Execute a job plan; returns ``{tag: RunResult}`` in plan order.
+
+    ``workers=None`` reads ``REPRO_RUNNER_WORKERS``; ``cache=None``
+    reads ``REPRO_CACHE`` (``True``/``False`` force it); ``cache_dir``
+    overrides the cache location (mainly for tests).
+    """
+    from ..experiments.results import RunResult
+
+    jobs = list(jobs)
+    tags = [job.tag for job in jobs]
+    if len(set(tags)) != len(tags):
+        raise ConfigError("duplicate job tags in plan: %r" % sorted(tags))
+    if workers is None:
+        workers = default_workers()
+    use_cache = result_cache.enabled() if cache is None else bool(cache)
+
+    keyed = [(job, result_cache.job_key(job)) for job in jobs]
+    payloads = {}
+    pending = []
+    pending_keys = set()
+    for job, key in keyed:
+        if key in payloads or key in pending_keys:
+            continue  # duplicate physical point inside this plan
+        if use_cache:
+            hit = result_cache.load(key, cache_dir)
+            if hit is not None:
+                payloads[key] = hit
+                continue
+        pending.append((job, key))
+        pending_keys.add(key)
+
+    if pending:
+        computed = _simulate([job for job, _key in pending], workers)
+        for (job, key), payload in zip(pending, computed):
+            if use_cache:
+                result_cache.store(key, job, payload, cache_dir)
+            payloads[key] = payload
+
+    return {job.tag: RunResult.from_dict(payloads[key]) for job, key in keyed}

@@ -1,0 +1,184 @@
+"""Self-describing simulation jobs.
+
+A :class:`SimJob` is a picklable, JSON-serializable description of one
+simulation point: which canned scenario to build (by name), with which
+workload kwargs, which policy, seed, duration, and warmup. Experiment
+modules emit SimJobs from their ``plan()``; the executor materialises
+them — in this process or in a worker process — with :func:`run_job`;
+each experiment's ``reduce()`` then folds the hydrated results back
+into its historical ``run()`` return shape.
+
+Jobs deliberately carry *descriptions*, not live objects: a worker
+process rebuilds the scenario from the spec, which keeps jobs cheap to
+pickle under the ``spawn`` start method and gives the result cache a
+canonical identity to hash.
+
+Everything in this module is import-light (stdlib only at module
+scope); the scenario/policy machinery is imported lazily inside
+:func:`build_system` so ``repro.runner`` never participates in an
+import cycle with ``repro.experiments``.
+"""
+
+import dataclasses
+import json
+
+from ..errors import ConfigError
+
+#: Modes understood by :func:`build_system`. ``baseline``/``static``/
+#: ``dynamic`` map onto :class:`~repro.core.policy.PolicySpec`;
+#: ``vturbo``/``vtrs`` are the Table-1 comparator schemes installed
+#: post-build; ``yield_only`` is the ablation engine with the relay
+#: hooks disabled.
+POLICY_MODES = ("baseline", "static", "dynamic", "vturbo", "vtrs", "yield_only")
+
+
+def baseline_policy():
+    return {"mode": "baseline"}
+
+
+def static_policy(micro_cores, user_critical=False):
+    return {
+        "mode": "static",
+        "micro_cores": int(micro_cores),
+        "user_critical": bool(user_critical),
+    }
+
+
+def dynamic_policy(user_critical=False, **adaptive_kwargs):
+    return {
+        "mode": "dynamic",
+        "adaptive_kwargs": dict(adaptive_kwargs),
+        "user_critical": bool(user_critical),
+    }
+
+
+def vturbo_policy(turbo_cores=1):
+    return {"mode": "vturbo", "turbo_cores": int(turbo_cores)}
+
+
+def vtrs_policy(pool_cores=1):
+    return {"mode": "vtrs", "pool_cores": int(pool_cores)}
+
+
+def yield_only_policy(micro_cores=1):
+    return {"mode": "yield_only", "micro_cores": int(micro_cores)}
+
+
+@dataclasses.dataclass
+class SimJob:
+    """One simulation point, self-contained and picklable.
+
+    ``tag`` names the job inside its plan (unique per plan; used by
+    ``reduce()``); it is *excluded* from the cache identity so that the
+    same physical simulation shared by several experiments (e.g. the
+    seed-42 gmake co-run baseline in fig4, table2, and table4a) hits a
+    single cache entry.
+    """
+
+    tag: str
+    scenario: str
+    duration_ns: int
+    warmup_ns: int = 0
+    seed: int = 42
+    scenario_kwargs: dict = dataclasses.field(default_factory=dict)
+    policy: dict = dataclasses.field(default_factory=baseline_policy)
+    overrides: dict = dataclasses.field(default_factory=dict)
+
+    def spec(self):
+        """The canonical, tag-free description — the cache identity."""
+        return {
+            "scenario": self.scenario,
+            "scenario_kwargs": self.scenario_kwargs,
+            "policy": self.policy,
+            "overrides": self.overrides,
+            "seed": self.seed,
+            "duration_ns": self.duration_ns,
+            "warmup_ns": self.warmup_ns,
+        }
+
+    def canonical(self):
+        """Stable string form of :meth:`spec` (hashed by the cache)."""
+        return json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
+
+    def to_dict(self):
+        return {"tag": self.tag, **self.spec()}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(**payload)
+
+
+def build_system(job):
+    """Build the ready-to-run :class:`~repro.experiments.scenarios.System`
+    a job describes (imports deferred to avoid import cycles)."""
+    from ..core.comparators import VTrsPolicy, VTurboPolicy
+    from ..core.microslice import MicroSliceEngine
+    from ..core.policy import PolicySpec
+    from ..experiments.scenarios import (
+        corun_scenario,
+        mixed_io_scenario,
+        solo_io_scenario,
+        solo_scenario,
+    )
+    from ..hw.ple import PleConfig
+
+    builders = {
+        "corun": corun_scenario,
+        "solo": solo_scenario,
+        "mixed_io": mixed_io_scenario,
+        "solo_io": solo_io_scenario,
+    }
+    builder = builders.get(job.scenario)
+    if builder is None:
+        raise ConfigError(
+            "unknown scenario %r (available: %s)" % (job.scenario, ", ".join(sorted(builders)))
+        )
+    policy = dict(job.policy or {"mode": "baseline"})
+    mode = policy.get("mode", "baseline")
+    if mode not in POLICY_MODES:
+        raise ConfigError("unknown job policy mode %r" % mode)
+
+    scenario = builder(seed=job.seed, **dict(job.scenario_kwargs))
+    if mode == "static":
+        scenario.policy = PolicySpec.static(
+            policy["micro_cores"], user_critical=policy.get("user_critical", False)
+        )
+    elif mode == "dynamic":
+        scenario.policy = PolicySpec.dynamic(
+            user_critical=policy.get("user_critical", False),
+            **policy.get("adaptive_kwargs", {})
+        )
+
+    overrides = dict(job.overrides or {})
+    if "normal_slice" in overrides:
+        scenario.normal_slice = overrides.pop("normal_slice")
+    if "micro_slice" in overrides:
+        scenario.micro_slice = overrides.pop("micro_slice")
+    if "ple_window" in overrides:
+        scenario.ple = PleConfig(window=overrides.pop("ple_window"))
+    if "pv_spin_rounds" in overrides:
+        scenario.pv_spin_rounds = overrides.pop("pv_spin_rounds")
+    if overrides:
+        raise ConfigError("unknown scenario overrides %r" % sorted(overrides))
+
+    system = scenario.build()
+    if mode == "vturbo":
+        system.hv.set_policy(VTurboPolicy(turbo_cores=policy.get("turbo_cores", 1)))
+    elif mode == "vtrs":
+        system.hv.set_policy(VTrsPolicy(pool_cores=policy.get("pool_cores", 1)))
+    elif mode == "yield_only":
+        system.hv.set_policy(
+            MicroSliceEngine(accelerate_virq=False, accelerate_vipi=False)
+        )
+        system.hv.set_micro_cores(policy.get("micro_cores", 1))
+    return system
+
+
+def run_job(job):
+    """Simulate one job and return its result as a canonical payload
+    dict. The payload is round-tripped through JSON so that a cold run,
+    a worker-process run, and a cache replay all yield bit-identical
+    structures."""
+    system = build_system(job)
+    result = system.run(job.duration_ns, warmup_ns=job.warmup_ns)
+    return json.loads(json.dumps(result.to_dict()))

@@ -1,6 +1,6 @@
 """The discrete-event simulation core.
 
-:class:`Simulator` owns a heap of ``(time, sequence, callback)`` entries
+:class:`Simulator` owns a heap of ``(time, sequence, handle)`` entries
 and a monotonically increasing clock in integer nanoseconds. On top of
 the raw callback layer, :class:`Process` runs a Python generator as a
 cooperative process: the generator yields :class:`~repro.sim.events.Event`
@@ -8,6 +8,14 @@ objects (usually :class:`~repro.sim.events.Timeout`) and is resumed with
 the event's value. Processes can be interrupted out of a wait, which the
 pCPU executors use to model preemption, lock hand-off, and interrupt
 delivery with exact (non-polled) latency.
+
+Hot-path notes: heap entries are plain ``(time, seq, handle)`` tuples so
+``heapq`` compares ints in C instead of calling a Python ``__lt__``;
+cancelled entries are dropped lazily but the heap is compacted whenever
+garbage exceeds half the queue, so mass cancellation (the adaptive
+controller re-arming timers for hours of simulated time) cannot grow
+the queue unboundedly; process event waits register a bound method, not
+a fresh closure per wait.
 """
 
 import heapq
@@ -16,26 +24,40 @@ import types
 from ..errors import SimulationError
 from .events import Event, Interrupt, Timeout
 
+#: Compaction kicks in once at least this many cancelled entries are
+#: pending *and* they outnumber the live ones (garbage > half the heap).
+_COMPACT_MIN_GARBAGE = 8
+
 
 class _Scheduled:
-    """Handle for a scheduled callback; supports O(1) cancellation."""
+    """Handle for a scheduled callback; supports O(1) cancellation.
 
-    __slots__ = ("time", "seq", "callback", "arg", "cancelled")
+    The handle no longer carries its own ``(time, seq)`` ordering key —
+    that lives in the heap tuple — so the object stays small and is
+    never compared during sifts. Executed entries are flagged exactly
+    like cancelled ones, which makes a late ``cancel()`` a no-op and
+    keeps the simulator's garbage accounting exact.
+    """
 
-    def __init__(self, time, seq, callback, arg):
-        self.time = time
-        self.seq = seq
+    __slots__ = ("sim", "callback", "arg", "cancelled")
+
+    def __init__(self, sim, callback, arg):
+        self.sim = sim
         self.callback = callback
         self.arg = arg
         self.cancelled = False
 
     def cancel(self):
+        if self.cancelled:
+            return
         self.cancelled = True
-
-    def __lt__(self, other):
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+        sim = self.sim
+        sim._garbage += 1
+        if (
+            sim._garbage >= _COMPACT_MIN_GARBAGE
+            and sim._garbage * 2 > len(sim._queue)
+        ):
+            sim._compact()
 
 
 class Simulator:
@@ -45,6 +67,7 @@ class Simulator:
         self._now = 0
         self._seq = 0
         self._queue = []
+        self._garbage = 0  # cancelled-but-unpopped heap entries
         self._processes = []
         self.executed_events = 0
 
@@ -59,10 +82,10 @@ class Simulator:
         (FIFO within a timestamp)."""
         if delay < 0:
             raise SimulationError("cannot schedule in the past (delay=%r)" % delay)
-        self._seq += 1
-        entry = _Scheduled(self._now + delay, self._seq, callback, arg)
-        heapq.heappush(self._queue, entry)
-        return entry
+        self._seq = seq = self._seq + 1
+        handle = _Scheduled(self, callback, arg)
+        heapq.heappush(self._queue, (self._now + delay, seq, handle))
+        return handle
 
     def timeout(self, delay, value=None, name=""):
         """Create a :class:`Timeout` event firing after ``delay`` ns."""
@@ -83,28 +106,41 @@ class Simulator:
         ``until`` (ns). The clock is left at ``until`` if the limit was
         reached, else at the last executed event's time."""
         queue = self._queue
+        pop = heapq.heappop
         while queue:
-            entry = queue[0]
-            if entry.cancelled:
-                heapq.heappop(queue)
+            time, _seq, handle = queue[0]
+            if handle.cancelled:
+                pop(queue)
+                self._garbage -= 1
                 continue
-            if until is not None and entry.time > until:
+            if until is not None and time > until:
                 break
-            heapq.heappop(queue)
-            self._now = entry.time
+            pop(queue)
+            self._now = time
             self.executed_events += 1
-            entry.callback(entry.arg)
+            # Flag as consumed so a later cancel() cannot skew the
+            # garbage accounting for an entry already off the heap.
+            handle.cancelled = True
+            handle.callback(handle.arg)
         if until is not None and self._now < until:
             self._now = until
         return self._now
 
     def peek(self):
         """Time of the next pending event, or ``None`` if the queue is
-        empty. Cancelled entries are skipped."""
+        empty. Cancelled entries are skipped (and released)."""
         queue = self._queue
-        while queue and queue[0].cancelled:
+        while queue and queue[0][2].cancelled:
             heapq.heappop(queue)
-        return queue[0].time if queue else None
+            self._garbage -= 1
+        return queue[0][0] if queue else None
+
+    def _compact(self):
+        """Drop every cancelled entry and re-heapify. O(live + garbage),
+        amortised against the cancellations that triggered it."""
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._garbage = 0
 
 
 #: Process states.
@@ -124,7 +160,26 @@ class Process:
     current time, cancelling whatever wait was in progress. Interrupts
     that land while a resume is already scheduled are coalesced into one
     :class:`Interrupt` carrying every cause.
+
+    Stale wakeups (e.g. a timeout that fires after an interrupt already
+    resumed us) are filtered by identity: the process remembers the one
+    event it is blocked on in :attr:`_waiting_on`, and the single bound
+    callback :meth:`_on_event` ignores anything else. This replaces a
+    per-wait closure allocation on the hottest path in the engine.
     """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "state",
+        "completed",
+        "error",
+        "_gen",
+        "_waiting_on",
+        "_pending_interrupt",
+        "_resume_scheduled",
+        "_begun",
+    )
 
     def __init__(self, sim, generator, name=""):
         if not isinstance(generator, types.GeneratorType):
@@ -135,14 +190,13 @@ class Process:
         self.completed = Event(sim, name="%s.completed" % self.name)
         self.error = None
         self._gen = generator
-        # Identifies the wait the process is currently blocked on; stale
-        # event callbacks (e.g. a timeout that fires after an interrupt
-        # already resumed us) compare against it and bail out.
-        self._wait_id = 0
+        #: The event this process is currently blocked on; ``None`` when
+        #: runnable or when the current wait has been invalidated.
+        self._waiting_on = None
         self._pending_interrupt = None
         self._resume_scheduled = True
         self._begun = False
-        sim.schedule(0, self._step, (None, None))
+        sim.schedule(0, self._step, None)
 
     @property
     def alive(self):
@@ -154,26 +208,24 @@ class Process:
         No-op on a finished process. Multiple interrupts before the
         process next runs are coalesced (all causes preserved).
         """
-        if not self.alive:
+        if self.state != RUNNING:
             return
         if self._pending_interrupt is not None:
             self._pending_interrupt.add_cause(cause)
             return
         self._pending_interrupt = Interrupt(cause)
-        self._wait_id += 1  # invalidate the current wait
+        self._waiting_on = None  # invalidate the current wait
         if not self._resume_scheduled:
             self._resume_scheduled = True
-            self.sim.schedule(0, self._step, (None, None))
+            self.sim.schedule(0, self._step, None)
 
-    def _on_event(self, wait_id, event):
-        if wait_id != self._wait_id or not self.alive:
+    def _on_event(self, event):
+        if event is not self._waiting_on or self.state != RUNNING:
             return
-        self._wait_id += 1
-        self._resume_scheduled = True
-        self._step((event.value, None))
+        self._waiting_on = None
+        self._step(event.value)
 
-    def _step(self, payload):
-        value, _ = payload
+    def _step(self, value):
         self._resume_scheduled = False
         exc = self._pending_interrupt
         self._pending_interrupt = None
@@ -209,16 +261,16 @@ class Process:
         if self._pending_interrupt is not None:
             # An interrupt arrived before the generator's first yield;
             # deliver it now that there is a wait to break.
-            self._wait_id += 1
-            self._resume_scheduled = True
-            self.sim.schedule(0, self._step, (None, None))
+            if not self._resume_scheduled:
+                self._resume_scheduled = True
+                self.sim.schedule(0, self._step, None)
             return
-        wait_id = self._wait_id
-        target.add_callback(lambda event, w=wait_id: self._on_event(w, event))
+        self._waiting_on = target
+        target.add_callback(self._on_event)
 
     def _finish(self, state, value):
         self.state = state
-        self._wait_id += 1
+        self._waiting_on = None
         if not self.completed.triggered:
             self.completed.trigger(value)
 

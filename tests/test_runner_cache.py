@@ -1,0 +1,96 @@
+"""Result-cache correctness: keys must move when anything that affects
+the simulation moves, and damaged entries must degrade to a re-run,
+never to a crash or a wrong result.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import SimJob, cache, execute, static_policy
+from repro.sim.time import ms
+
+
+def _job(**overrides):
+    spec = dict(
+        tag="point",
+        scenario="solo",
+        scenario_kwargs={"workload_kind": "gmake"},
+        seed=7,
+        duration_ns=ms(12),
+        warmup_ns=0,
+    )
+    spec.update(overrides)
+    return SimJob(**spec)
+
+
+class TestKeying:
+    def test_identical_jobs_share_a_key(self):
+        assert cache.job_key(_job()) == cache.job_key(_job())
+
+    def test_tag_is_not_part_of_the_identity(self):
+        # Two experiments asking for the same physical point under
+        # different tags must share one cache entry.
+        assert cache.job_key(_job(tag="a")) == cache.job_key(_job(tag="b"))
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 8},
+            {"duration_ns": ms(13)},
+            {"warmup_ns": ms(2)},
+            {"policy": static_policy(2)},
+            {"scenario_kwargs": {"workload_kind": "exim"}},
+            {"scenario": "corun"},
+            {"overrides": {"ple_window": 1000}},
+        ],
+    )
+    def test_any_spec_change_misses(self, change):
+        assert cache.job_key(_job()) != cache.job_key(_job(**change))
+
+
+class TestStorage:
+    def test_cold_run_populates_cache(self, tmp_path):
+        execute([_job()], workers=1, cache=True, cache_dir=tmp_path)
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        payload = json.loads(entries[0].read_text())
+        assert payload["format"] == cache.FORMAT
+        assert payload["key"] == cache.job_key(_job())
+        assert isinstance(payload["result"], dict)
+
+    def test_in_plan_dedup_simulates_once(self, tmp_path):
+        jobs = [_job(tag="a"), _job(tag="b")]
+        results = execute(jobs, workers=1, cache=True, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert results["a"].to_dict() == results["b"].to_dict()
+
+    def test_corrupt_entry_warns_and_resimulates(self, tmp_path):
+        baseline = execute([_job()], workers=1, cache=True, cache_dir=tmp_path)
+        entry = next(tmp_path.glob("*.json"))
+        entry.write_text("{not json at all")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            again = execute([_job()], workers=1, cache=True, cache_dir=tmp_path)
+        assert again["point"].to_dict() == baseline["point"].to_dict()
+        # The damaged entry was rewritten with a valid one.
+        assert json.loads(entry.read_text())["key"] == cache.job_key(_job())
+
+    def test_wrong_key_entry_treated_as_miss(self, tmp_path):
+        execute([_job()], workers=1, cache=True, cache_dir=tmp_path)
+        entry = next(tmp_path.glob("*.json"))
+        payload = json.loads(entry.read_text())
+        payload["key"] = "0" * 64
+        entry.write_text(json.dumps(payload))
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            execute([_job()], workers=1, cache=True, cache_dir=tmp_path)
+
+    def test_env_off_disables_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache.ENV_TOGGLE, "off")
+        assert not cache.enabled()
+        execute([_job()], workers=1, cache=None, cache_dir=tmp_path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_explicit_cache_true_overrides_env_off(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache.ENV_TOGGLE, "off")
+        execute([_job()], workers=1, cache=True, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 1

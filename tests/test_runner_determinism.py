@@ -1,0 +1,95 @@
+"""Serial, parallel, and cache-replayed execution must be bit-identical.
+
+The whole point of the job-plan refactor is that an experiment's result
+is a pure function of its job specs: the same plan must reduce to the
+same result whether it ran inline, fanned out over worker processes, or
+replayed from the on-disk cache.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import fig4, table1
+from repro.runner import execute
+from repro.runner import executor as executor_mod
+
+SCALE = 0.02  # clamp every duration to the 10 ms floor — fast but real
+
+
+def _norm(value):
+    """Canonical JSON text (tuples and lists compare equal)."""
+
+    def convert(x):
+        if isinstance(x, dict):
+            return {str(k): convert(v) for k, v in x.items()}
+        if isinstance(x, (list, tuple)):
+            return [convert(v) for v in x]
+        return x
+
+    return json.dumps(convert(value), sort_keys=True)
+
+
+@pytest.fixture
+def small_fig4_plan():
+    return fig4.plan(seed=11, scale_override=SCALE, workloads=("gmake",), core_counts=(0, 1))
+
+
+@pytest.fixture
+def small_table1_plan():
+    return table1.plan(seed=11, scale_override=SCALE, schemes=("baseline", "microsliced"))
+
+
+class TestTriPathIdentity:
+    def test_fig4_serial_parallel_cache_identical(self, small_fig4_plan, tmp_path):
+        serial = fig4.reduce(execute(small_fig4_plan, workers=1, cache=False))
+        parallel = fig4.reduce(execute(small_fig4_plan, workers=4, cache=False))
+        cold = fig4.reduce(
+            execute(small_fig4_plan, workers=1, cache=True, cache_dir=tmp_path)
+        )
+        warm = fig4.reduce(
+            execute(small_fig4_plan, workers=1, cache=True, cache_dir=tmp_path)
+        )
+        assert _norm(serial) == _norm(parallel)
+        assert _norm(serial) == _norm(cold)
+        assert _norm(serial) == _norm(warm)
+
+    def test_table1_serial_parallel_cache_identical(self, small_table1_plan, tmp_path):
+        serial = table1.reduce(execute(small_table1_plan, workers=1, cache=False))
+        parallel = table1.reduce(execute(small_table1_plan, workers=4, cache=False))
+        cold = table1.reduce(
+            execute(small_table1_plan, workers=1, cache=True, cache_dir=tmp_path)
+        )
+        warm = table1.reduce(
+            execute(small_table1_plan, workers=1, cache=True, cache_dir=tmp_path)
+        )
+        assert _norm(serial) == _norm(parallel)
+        assert _norm(serial) == _norm(cold)
+        assert _norm(serial) == _norm(warm)
+
+    def test_warm_cache_never_resimulates(self, small_fig4_plan, tmp_path, monkeypatch):
+        cold = execute(small_fig4_plan, workers=1, cache=True, cache_dir=tmp_path)
+
+        def boom(_job):
+            raise AssertionError("cache hit expected — run_job must not be called")
+
+        monkeypatch.setattr(executor_mod, "run_job", boom)
+        warm = execute(small_fig4_plan, workers=1, cache=True, cache_dir=tmp_path)
+        assert sorted(warm) == sorted(cold)
+        for tag in cold:
+            assert _norm(warm[tag].to_dict()) == _norm(cold[tag].to_dict())
+
+
+class TestPlanHygiene:
+    def test_duplicate_tags_rejected(self, small_fig4_plan):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            execute(small_fig4_plan + [small_fig4_plan[0]], workers=1, cache=False)
+
+    def test_plan_jobs_are_picklable(self, small_table1_plan):
+        import pickle
+
+        for job in small_table1_plan:
+            clone = pickle.loads(pickle.dumps(job))
+            assert clone.canonical() == job.canonical()

@@ -332,3 +332,45 @@ class TestProcesses:
             return order
 
         assert build_and_run() == build_and_run()
+
+
+class TestLazyCancellationCompaction:
+    def test_mass_cancellation_compacts_queue(self, sim):
+        handles = [sim.schedule(1_000 + i, lambda _a: None) for i in range(64)]
+        survivors = []
+        sim.schedule(5_000, lambda _a: survivors.append(sim.now))
+        for handle in handles:
+            handle.cancel()
+        # Mass cancellation must not leave 64 dead entries in the heap:
+        # compaction keeps garbage below half the queue.
+        assert len(sim._queue) < 34
+        assert sim._garbage < 8 or sim._garbage * 2 <= len(sim._queue)
+        sim.run()
+        assert survivors == [5_000]
+
+    def test_compaction_preserves_order_and_pending_events(self, sim):
+        seen = []
+        keep = []
+        for i in range(40):
+            handle = sim.schedule(10 + i, lambda _a, t=10 + i: seen.append(t))
+            if i % 4:
+                handle.cancel()
+            else:
+                keep.append(10 + i)
+        sim.run()
+        assert seen == keep
+
+    def test_double_cancel_counted_once(self, sim):
+        handle = sim.schedule(10, lambda _a: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim._garbage <= 1
+        sim.run()
+
+    def test_cancel_after_execution_is_noop(self, sim):
+        seen = []
+        handle = sim.schedule(10, lambda _a: seen.append(sim.now))
+        sim.schedule(20, lambda _a: handle.cancel())
+        sim.run()
+        assert seen == [10]
+        assert sim._garbage == 0
