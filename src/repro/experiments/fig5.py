@@ -35,15 +35,20 @@ def plan(seed=42, scale_override=None, workloads=WORKLOADS, core_counts=DEFAULT_
 
 
 def reduce(results):
-    out = {}
+    """Order-independent: 0-core baselines are collected in a first pass
+    so the result does not depend on executor completion order."""
+    parsed = []
     bases = {}
     for tag, res in results.items():
         kind, cores_text = tag.rsplit(":", 1)
         cores = int(cores_text)
         target_rate = res.rate(kind)
         corunner_rate = res.rate("swaptions")
+        parsed.append((kind, cores, target_rate, corunner_rate))
         if cores == 0:
             bases[kind] = (target_rate, corunner_rate)
+    out = {}
+    for kind, cores, target_rate, corunner_rate in parsed:
         base_target, base_corunner = bases.get(kind, (None, None))
         out.setdefault(kind, {})[cores] = {
             "target_rate": target_rate,

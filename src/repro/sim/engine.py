@@ -137,8 +137,14 @@ class Simulator:
 
     def _compact(self):
         """Drop every cancelled entry and re-heapify. O(live + garbage),
-        amortised against the cancellations that triggered it."""
-        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        amortised against the cancellations that triggered it.
+
+        Compacts *in place*: :meth:`run` holds a local alias to the queue
+        while dispatching, and cancellations from inside a callback can
+        trigger compaction mid-run — rebinding ``self._queue`` would leave
+        the loop draining a stale list and drop later-scheduled events.
+        """
+        self._queue[:] = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(self._queue)
         self._garbage = 0
 

@@ -80,6 +80,15 @@ class TestTriPathIdentity:
             assert _norm(warm[tag].to_dict()) == _norm(cold[tag].to_dict())
 
 
+class TestReduceOrderIndependence:
+    def test_fig4_reduce_handles_completion_order(self, small_fig4_plan):
+        # An executor returning results in completion order (baseline
+        # last) must reduce identically to plan order.
+        results = execute(small_fig4_plan, workers=1, cache=False)
+        reversed_results = dict(reversed(list(results.items())))
+        assert _norm(fig4.reduce(results)) == _norm(fig4.reduce(reversed_results))
+
+
 class TestPlanHygiene:
     def test_duplicate_tags_rejected(self, small_fig4_plan):
         from repro.errors import ConfigError

@@ -374,3 +374,21 @@ class TestLazyCancellationCompaction:
         sim.run()
         assert seen == [10]
         assert sim._garbage == 0
+
+    def test_compaction_inside_run_keeps_later_schedules(self, sim):
+        # Compaction triggered from within a callback must not orphan the
+        # queue run() is draining: run() aliases the list locally, so
+        # _compact() has to mutate it in place.
+        seen = []
+        handles = [sim.schedule(1_000 + i, lambda _a: None) for i in range(12)]
+
+        def cancel_and_reschedule(_a):
+            for handle in handles:
+                handle.cancel()  # trips the compaction threshold mid-run
+            sim.schedule(100, lambda _a: seen.append(sim.now))
+
+        sim.schedule(10, cancel_and_reschedule)
+        sim.run()
+        assert seen == [110]
+        assert sim._garbage == 0
+        assert not sim._queue
