@@ -31,6 +31,18 @@ def _parse_policy(text):
     raise ReproError("unknown policy %r (baseline | static:N | dynamic)" % text)
 
 
+def _trace_request(args):
+    """``--trace``/``--trace=KINDS``/``--trace-kinds KINDS`` -> a job
+    trace request dict (or None when tracing was not asked for)."""
+    trace = getattr(args, "trace", None)
+    trace_kinds = getattr(args, "trace_kinds", None)
+    if trace is None and trace_kinds is None:
+        return None
+    raw = trace_kinds if trace_kinds is not None else trace
+    kinds = [kind for kind in raw.split(",") if kind]
+    return {"kinds": kinds or None}
+
+
 def _cmd_list(_args):
     print("experiments: " + ", ".join(registry.available()))
     print("workloads:   " + ", ".join(workload_registry.available()))
@@ -42,10 +54,24 @@ def _cmd_run(args):
         args.experiment,
         workers=args.workers,
         cache=False if args.no_cache else None,
+        trace=_trace_request(args),
+        trace_out=args.trace_out,
         seed=args.seed,
         scale_override=args.scale,
     )
     print(text)
+    if args.trace_out:
+        print("\ntrace written to %s" % args.trace_out)
+    return 0
+
+
+def _cmd_analyze(args):
+    from .obs import analyze
+
+    if args.diff:
+        print(analyze.diff_files(args.file, args.diff))
+    else:
+        print(analyze.format_report(analyze.analyze_file(args.file)))
     return 0
 
 
@@ -135,10 +161,36 @@ def _cmd_compare(args):
 
 def _cmd_scenario(args, builder):
     scenario = builder(args.workload, policy=_parse_policy(args.policy), seed=args.seed)
+    trace = _trace_request(args)
+    if trace is not None:
+        scenario.trace = True
+        scenario.trace_kinds = tuple(trace["kinds"]) if trace["kinds"] else None
+        if args.trace_out:
+            scenario.trace_capacity = None  # lossless when exporting
     duration = ms(args.duration_ms)
-    result = scenario.build().run(duration)
+    system = scenario.build()
+    result = system.run(duration)
     _summarise(result, duration)
+    if trace is not None:
+        tracer = system.tracer
+        print("\ntrace: %d records (%d dropped)" % (len(tracer), tracer.dropped))
+        if args.trace_out:
+            tracer.write_jsonl(args.trace_out)
+            print("trace written to %s" % args.trace_out)
     return 0
+
+
+def _add_trace_args(parser):
+    parser.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="KINDS",
+        help="enable structured tracing (optionally restrict to a "
+        "comma-separated list of record kinds)")
+    parser.add_argument(
+        "--trace-kinds", default=None, metavar="KINDS",
+        help="comma-separated record kinds to trace (implies --trace)")
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the exported trace to FILE as JSONL (see 'repro analyze')")
 
 
 def build_parser():
@@ -161,6 +213,7 @@ def build_parser():
                        "(default: REPRO_RUNNER_WORKERS or 1)")
     run_p.add_argument("--no-cache", action="store_true",
                        help="ignore and do not write the on-disk result cache")
+    _add_trace_args(run_p)
 
     for name, help_text in (
         ("corun", "run a workload co-located with swaptions"),
@@ -172,6 +225,12 @@ def build_parser():
                        help="baseline | static:N | dynamic")
         p.add_argument("--seed", type=int, default=42)
         p.add_argument("--duration-ms", type=int, default=250)
+        _add_trace_args(p)
+
+    an_p = sub.add_parser("analyze", help="analyze an exported JSONL trace")
+    an_p.add_argument("file", help="trace file written by --trace-out")
+    an_p.add_argument("--diff", metavar="OTHER", default=None,
+                      help="compare event counts against a second trace file")
 
     sweep_p = sub.add_parser(
         "sweep", help="sweep micro-sliced core counts for one workload"
@@ -206,6 +265,8 @@ def main(argv=None):
             return _cmd_sweep(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
         if args.command == "solo":
             return _cmd_scenario(args, lambda wl, policy, seed: solo_scenario(wl, policy=policy, seed=seed))
     except ReproError as err:

@@ -49,10 +49,24 @@ class AdaptiveController:
         hv.sim.schedule(self.profile_interval, self._tick)
 
     # ------------------------------------------------------------------
-    def _apply(self, count):
+    def _apply(self, count, events=None):
+        """Resize the micro pool; ``events`` are the window deltas that
+        drove the decision (the Algorithm-1 audit trail in the trace)."""
+        prev = self.num_ucores
         self.num_ucores = count
         self.hv.set_micro_cores(count)
         self.decisions.append((self.hv.sim.now, count))
+        tracer = getattr(self.hv, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            events = events or {}
+            tracer.emit(
+                "adaptive_resize",
+                cores=count,
+                prev_cores=prev,
+                ipi=events.get("ipi", 0),
+                ple=events.get("ple", 0),
+                irq=events.get("irq", 0),
+            )
 
     def _urgent(self, events):
         return (
@@ -97,7 +111,7 @@ class AdaptiveController:
                 self.profile_mode = False
                 interval = self.epoch_interval
             else:
-                self._apply(1)
+                self._apply(1, events=current)
                 if current["ipi"] > current["ple"] or current["ipi"] > current["irq"]:
                     # IPI dominant: keep profiling core counts.
                     pass
@@ -107,9 +121,9 @@ class AdaptiveController:
                     self.profile_mode = False
                     interval = self.epoch_interval
         elif self.num_ucores < self.limit:
-            self._apply(self.num_ucores + 1)
+            self._apply(self.num_ucores + 1, events=current)
         else:
-            self._apply(self._find_best_ucore_count())
+            self._apply(self._find_best_ucore_count(), events=current)
             self.profile_mode = False
             interval = self.epoch_interval
 

@@ -33,14 +33,30 @@ def get(name):
     return module
 
 
-def run(name, workers=None, cache=None, **kwargs):
+def run(name, workers=None, cache=None, trace=None, trace_out=None, **kwargs):
     """Run one experiment; returns ``(results, formatted_text)``.
 
     ``workers``/``cache`` pass through to :func:`repro.runner.execute`
     (None = environment defaults); every experiment module exposes
     ``plan()``/``reduce()``, so the registry drives the shared executor
     rather than each module's serial ``run()``.
+
+    ``trace`` (a ``{"kinds": ...}`` request dict) turns on structured
+    tracing for every job in the plan; ``trace_out`` writes the combined
+    trace — records labelled with their job tag — to a JSONL file that
+    ``repro analyze`` consumes. Trace payloads travel inside the result
+    dicts, so serial, parallel, and cache-replay runs export
+    byte-identical files.
     """
     module = get(name)
-    results = module.reduce(runner.execute(module.plan(**kwargs), workers=workers, cache=cache))
+    jobs = module.plan(**kwargs)
+    if trace is not None:
+        for job in jobs:
+            job.trace = dict(trace)
+    by_tag = runner.execute(jobs, workers=workers, cache=cache)
+    if trace_out is not None:
+        from ..sim.trace import write_jsonl
+
+        write_jsonl(trace_out, {job.tag: by_tag[job.tag].trace for job in jobs})
+    results = module.reduce(by_tag)
     return results, module.format_result(results)

@@ -42,6 +42,9 @@ class RunResult:
         self.micro_cores = 0
         self.utilization = 0.0
         self.adaptive_decisions = []
+        self.runstates = {}      # domain -> {vcpu: runstate snapshot}
+        self.histograms = {}     # name -> histogram snapshot
+        self.trace = []          # exported trace records (when tracing)
 
     @classmethod
     def collect(cls, system, duration_ns):
@@ -65,6 +68,35 @@ class RunResult:
         controller = getattr(hv.policy, "controller", None)
         if controller is not None:
             result.adaptive_decisions = list(controller.decisions)
+        now = hv.sim.now
+        for domain in hv.domains:
+            result.runstates[domain.name] = {
+                vcpu.name: vcpu.runstate.snapshot(now) for vcpu in domain.vcpus
+            }
+        result.histograms = hv.histograms.snapshot()
+        tracer = system.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.record_meta(
+                "meta",
+                scenario=system.scenario.name,
+                duration_ns=duration_ns,
+                pcpus=len(hv.pcpus),
+                domains=[d.name for d in hv.domains],
+            )
+            for domain in hv.domains:
+                for vcpu in domain.vcpus:
+                    snap = vcpu.runstate.snapshot(now)
+                    tracer.record_meta(
+                        "runstate_final",
+                        vcpu=vcpu.name,
+                        domain=domain.name,
+                        running=snap["running"],
+                        runnable=snap["runnable"],
+                        blocked=snap["blocked"],
+                        offline=snap["offline"],
+                        elapsed=snap["elapsed"],
+                    )
+            result.trace = tracer.export()
         return result
 
     # ------------------------------------------------------------------
@@ -91,6 +123,9 @@ class RunResult:
             "micro_cores": self.micro_cores,
             "utilization": self.utilization,
             "adaptive_decisions": _jsonable(self.adaptive_decisions),
+            "runstates": _jsonable(self.runstates),
+            "histograms": _jsonable(self.histograms),
+            "trace": _jsonable(self.trace),
         }
 
     @classmethod
@@ -112,6 +147,9 @@ class RunResult:
         result.micro_cores = payload["micro_cores"]
         result.utilization = payload["utilization"]
         result.adaptive_decisions = payload["adaptive_decisions"]
+        result.runstates = payload.get("runstates", {})
+        result.histograms = payload.get("histograms", {})
+        result.trace = payload.get("trace", [])
         return result
 
     # ------------------------------------------------------------------
@@ -136,3 +174,11 @@ class RunResult:
 
     def yields_by_cause(self, domain):
         return self.domain_yields.get(domain, {})
+
+    def steal_time(self, domain):
+        """Total runnable-but-not-running ns across the domain's vCPUs
+        (the Xen runstate notion of steal time)."""
+        return sum(
+            snap.get("runnable", 0) + snap.get("offline", 0)
+            for snap in self.runstates.get(domain, {}).values()
+        )

@@ -75,6 +75,8 @@ class Scenario:
     ple: PleConfig = None
     pv_spin_rounds: int = 1
     trace: bool = False
+    trace_kinds: tuple = None   # None = all kinds
+    trace_capacity: int = 100_000  # None = lossless (unbounded)
 
     def add_vm(self, name, vcpus=12, weight=256, pin_to=None):
         spec = VmSpec(name=name, vcpus=vcpus, weight=weight, pin_to=pin_to)
@@ -83,7 +85,12 @@ class Scenario:
 
     def build(self):
         sim = Simulator()
-        tracer = Tracer(sim, enabled=self.trace)
+        tracer = Tracer(
+            sim,
+            enabled=self.trace,
+            capacity=self.trace_capacity,
+            kinds=self.trace_kinds,
+        )
         hv = Hypervisor(
             sim,
             num_pcpus=self.num_pcpus,
@@ -146,6 +153,12 @@ class System:
             tlb.sync_latency = type(tlb.sync_latency)(name=tlb.sync_latency.name)
         for pcpu in self.hv.pcpus:
             pcpu.busy_ns = 0
+        self.hv.histograms.reset()
+        now = self.sim.now
+        for domain in self.hv.domains:
+            for vcpu in domain.vcpus:
+                vcpu.runstate.reset(now)
+        self.tracer.clear()
 
     def result(self, duration_ns):
         return RunResult.collect(self, duration_ns)

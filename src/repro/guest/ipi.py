@@ -20,13 +20,20 @@ KIND_CALL = "call"
 
 
 class IpiOp:
-    """One logical IPI transaction (possibly multi-target)."""
+    """One logical IPI transaction (possibly multi-target).
+
+    ``op_id`` should come from a per-host allocator
+    (:meth:`Hypervisor.next_ipi_id`) so ids are deterministic per run —
+    the class-level fallback is process-global and only suitable for
+    unit tests that never export traces."""
 
     _next_id = 0
 
-    def __init__(self, kind, initiator, targets, started_at, on_complete=None):
-        IpiOp._next_id += 1
-        self.id = IpiOp._next_id
+    def __init__(self, kind, initiator, targets, started_at, on_complete=None, op_id=None):
+        if op_id is None:
+            IpiOp._next_id += 1
+            op_id = IpiOp._next_id
+        self.id = op_id
         self.kind = kind
         self.initiator = initiator
         self.targets = tuple(targets)

@@ -37,11 +37,21 @@ def call_function_work(kernel, vcpu, op):
     yield Emit(lambda now: op.ack(vcpu, now), symbol="irq_exit")
 
 
-def net_rx_work(kernel, vcpu, nic):
+def net_rx_work(kernel, vcpu, nic, raised_at=None):
     """Handle a NIC vIRQ: hard-IRQ entry, then the softirq drain of the
-    RX ring, delivery into sockets, and reader wakeups."""
+    RX ring, delivery into sockets, and reader wakeups.
+
+    ``raised_at`` is the injection timestamp; the zero-cost Emit below
+    observes raise-to-handler latency (VTD's vIRQ delivery delay)
+    without perturbing timing."""
     net = kernel.net
     costs = kernel.costs
+    if raised_at is not None:
+        hv = kernel.hv
+        yield Emit(
+            lambda now: hv.histograms.record("virq_delivery", now - raised_at),
+            symbol="handle_percpu_irq",
+        )
     yield Compute(net.irq_cost, symbol="handle_percpu_irq")
     packets = nic.drain(net.napi_budget)
     if not packets:

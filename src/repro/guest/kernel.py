@@ -134,14 +134,14 @@ class GuestKernel:
         Returns the :class:`IpiOp` the initiator may spin on.
         """
         target = task.vcpu
-        op = IpiOp(KIND_RESCHED, src_vcpu, [target], now)
+        op = IpiOp(KIND_RESCHED, src_vcpu, [target], now, op_id=self.hv.next_ipi_id())
         work = irqwork.resched_ipi_work(self, target, op, task)
         self.hv.relay_vipi(src_vcpu, target, op, work, name="resched")
         return op
 
     def send_call_function(self, src_vcpu, dst_vcpu, now):
         """Synchronous cross-CPU call (``smp_call_function_single``)."""
-        op = IpiOp(KIND_CALL, src_vcpu, [dst_vcpu], now)
+        op = IpiOp(KIND_CALL, src_vcpu, [dst_vcpu], now, op_id=self.hv.next_ipi_id())
         work = irqwork.call_function_work(self, dst_vcpu, op)
         self.hv.relay_vipi(src_vcpu, dst_vcpu, op, work, name="call_single")
         return op
@@ -158,5 +158,16 @@ class GuestKernel:
         """A trivial in-kernel stint (non-critical symbol)."""
         yield Compute(us(0.5) if cost_ns is None else cost_ns, symbol="do_syscall_64")
 
-    def record_lock_wait(self, lock, wait_ns):
+    def record_lock_wait(self, lock, wait_ns, vcpu=None):
         self.lockstat.record_wait(lock.lock_class.name, wait_ns)
+        hv = self.hv
+        if hv is not None:
+            hv.histograms.record("spin_wait", wait_ns)
+            tracer = hv.tracer
+            if vcpu is not None and tracer is not None and tracer.enabled:
+                tracer.emit(
+                    "lock_acquired",
+                    vcpu=vcpu.name,
+                    lock=lock.name,
+                    wait_ns=wait_ns,
+                )

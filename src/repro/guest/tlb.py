@@ -39,11 +39,21 @@ class TlbManager:
         birth (nothing to synchronise).
         """
         targets = self.shootdown_targets(initiator)
-        op = IpiOp(KIND_TLB, initiator, targets, now, on_complete=self._record)
+        op = IpiOp(
+            KIND_TLB,
+            initiator,
+            targets,
+            now,
+            on_complete=self._record,
+            op_id=self.kernel.hv.next_ipi_id(),
+        )
         self.issued += 1
         if not targets:
             op.completed_at = now
             self.sync_latency.record(0)
+            hv = self.kernel.hv
+            if hv is not None:
+                hv.histograms.record("tlb_sync", 0)
             return op
         for target in targets:
             self.ipi_messages += 1
@@ -52,3 +62,6 @@ class TlbManager:
 
     def _record(self, op):
         self.sync_latency.record(op.latency)
+        hv = self.kernel.hv
+        if hv is not None:
+            hv.histograms.record("tlb_sync", op.latency)

@@ -45,8 +45,10 @@ class CreditScheduler:
         rng=None,
         slice_jitter=0.10,
         tick_ns=None,
+        tracer=None,
     ):
         self.sim = sim
+        self.tracer = tracer
         self.slice = ms(30) if slice_ns is None else slice_ns
         self.period = ms(30) if period_ns is None else period_ns
         #: credit1 runs its scheduler at every 10 ms tick: queued UNDER/
@@ -126,6 +128,14 @@ class CreditScheduler:
             vcpu = self._pick_from(other, pcpu)
             if vcpu is not None:
                 self.steals += 1
+                tracer = self.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.emit(
+                        "sched_steal",
+                        vcpu=vcpu.name,
+                        from_pcpu=other.info.index,
+                        to_pcpu=pcpu.info.index,
+                    )
                 return vcpu
         return None
 
@@ -180,15 +190,30 @@ class CreditScheduler:
             priority = UNDER if vcpu.credits > 0 else OVER
         vcpu.priority = priority
         vcpu.yield_flag = yielded
+        tracer = self.tracer
+        trace_on = tracer is not None and tracer.enabled
         # Prefer an idle pCPU outright (it can run us immediately).
         for position, pcpu in enumerate(self._idle):
             if self._eligible(vcpu, pcpu):
                 del self._idle[position]
                 self._runqs[pcpu][priority].append(vcpu)
                 vcpu.runq_pcpu = pcpu
+                if trace_on:
+                    if priority == BOOST:
+                        tracer.emit(
+                            "sched_boost", vcpu=vcpu.name, pcpu=pcpu.info.index
+                        )
+                    tracer.emit(
+                        "sched_tickle",
+                        vcpu=vcpu.name,
+                        pcpu=pcpu.info.index,
+                        why="idle",
+                    )
                 pcpu.tickle()
                 return
         target = self._place(vcpu, priority)
+        if trace_on and priority == BOOST:
+            tracer.emit("sched_boost", vcpu=vcpu.name, pcpu=target.info.index)
         if priority == BOOST:
             current = target.current
             if (
@@ -197,6 +222,13 @@ class CreditScheduler:
                 and current.priority is not None
                 and current.priority > BOOST
             ):
+                if trace_on:
+                    tracer.emit(
+                        "sched_tickle",
+                        vcpu=vcpu.name,
+                        pcpu=target.info.index,
+                        why="boost_preempt",
+                    )
                 target.request_preempt()
 
     def requeue(self, vcpu, yielded=False):

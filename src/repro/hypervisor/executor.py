@@ -240,7 +240,7 @@ class PCpu:
         kernel = vcpu.domain.kernel
         if lock.granted_to(vcpu):
             lock.finish_grant(vcpu)
-            self._finish_lock_wait(kernel, lock, action)
+            self._finish_lock_wait(vcpu, lock, action)
             return None
         if action.wait_started is None and lock.try_acquire(vcpu):
             action.done = True
@@ -252,7 +252,7 @@ class PCpu:
         while True:
             if waiter.granted:
                 lock.finish_grant(vcpu)
-                self._finish_lock_wait(kernel, lock, action)
+                self._finish_lock_wait(vcpu, lock, action)
                 return None
             verdict = self._should_break(vcpu, task)
             if verdict == "irq":
@@ -302,16 +302,20 @@ class PCpu:
             waiter.state = sl.WAITING
             return (STOP_SLICE, None)
 
-    def _finish_lock_wait(self, kernel, lock, action):
+    def _finish_lock_wait(self, vcpu, lock, action):
         action.done = True
         if action.wait_started is not None:
-            kernel.record_lock_wait(lock, self.sim.now - action.wait_started)
+            kernel = vcpu.domain.kernel
+            kernel.record_lock_wait(lock, self.sim.now - action.wait_started, vcpu=vcpu)
 
     def _exec_release(self, vcpu, task, action):
         sim = self.sim
         lock = action.lock
         vcpu.current_symbol = action.symbol
         yield from self._charge(300)
+        tracer = self.hv.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit("lock_release", vcpu=vcpu.name, lock=lock.name)
         grantee = lock.release(vcpu)
         if grantee is not None and lock.user_level:
             waiter = lock.waiter(grantee)

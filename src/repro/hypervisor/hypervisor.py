@@ -13,6 +13,7 @@ from ..errors import ConfigError, SchedulerError
 from ..hw.costs import CostModel
 from ..hw.ple import PleConfig
 from ..hw.topology import Topology
+from ..metrics.histogram import HistogramSet
 from ..sim.rng import derive_seed
 from ..sim.time import ms, us
 from . import executor as ex
@@ -60,8 +61,13 @@ class Hypervisor:
         self.costs = costs if costs is not None else CostModel()
         self.ple = ple if ple is not None else PleConfig()
         self.pv_spin_rounds = pv_spin_rounds
-        self.stats = HvStats()
         self.tracer = tracer
+        self.stats = HvStats(tracer=tracer)
+        self.histograms = HistogramSet()
+        #: Host-wide IPI-op id allocator: per-instance (not
+        #: process-global) so trace op ids are deterministic per run
+        #: regardless of how many simulations this process ran before.
+        self._ipi_seq = 0
         self.topology = Topology(num_pcpus=num_pcpus)
         self.domains = []
         self.nic_owner = {}
@@ -70,7 +76,9 @@ class Hypervisor:
         scheduler_rng = random.Random(derive_seed(seed, "hv.credit"))
         self.normal_pool = CpuPool(
             "normal",
-            CreditScheduler(sim, slice_ns=normal_slice or ms(30), rng=scheduler_rng),
+            CreditScheduler(
+                sim, slice_ns=normal_slice or ms(30), rng=scheduler_rng, tracer=tracer
+            ),
         )
         self.micro_pool = CpuPool(
             "micro", MicroScheduler(sim, micro_slice or us(100))
@@ -169,8 +177,11 @@ class Hypervisor:
         if pool is self.micro_pool and not vcpu.micro_resident:
             # One micro slice only; the vCPU always goes home (§5).
             vcpu.pool = self.normal_pool
-        if self.tracer is not None:
-            self.tracer.emit("deschedule", vcpu=vcpu.name, reason=reason)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                "deschedule", vcpu=vcpu.name, reason=reason, runtime_ns=runtime
+            )
         if reason == ex.STOP_IDLE:
             vcpu.state = vc.BLOCKED
             vcpu.lazy_tlb = True
@@ -271,17 +282,55 @@ class Hypervisor:
         """pv-spinlock kick (event-channel notification)."""
         self.wake_vcpu(vcpu)
 
+    def next_ipi_id(self):
+        """Allocate a host-unique, run-deterministic IPI-op id."""
+        self._ipi_seq += 1
+        return self._ipi_seq
+
     def relay_vipi(self, src, dst, op, work, name=""):
         """Relay a guest IPI: deliver the handler work to ``dst`` after
         the wire latency. The policy sees the relay first, mirroring the
         paper's interception point."""
         self.stats.count_vipi(src, dst, op.kind)
+        self._observe_ipi(op)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                "ipi_send", op=op.id, ipi_kind=op.kind, src=src.name, dst=dst.name
+            )
 
         def _deliver(_arg):
             self.policy.on_vipi(src, dst, op)
             dst.post_kernel_work(work, name=name or op.kind)
 
         self.sim.schedule(self.costs.ipi_deliver, _deliver)
+
+    def _observe_ipi(self, op):
+        """Chain onto the op's completion callback (once per op — a
+        multi-target shootdown relays many messages for one op) to
+        close the send→last-ack span: histogram the latency and emit the
+        matching ``ipi_complete`` trace record."""
+        if getattr(op, "_hv_observed", False):
+            return
+        op._hv_observed = True
+        chained = op.on_complete
+
+        def _complete(completed, _chained=chained):
+            if _chained is not None:
+                _chained(completed)
+            self.histograms.record("ipi_ack_" + completed.kind, completed.latency)
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                initiator = completed.initiator
+                tracer.emit(
+                    "ipi_complete",
+                    op=completed.id,
+                    ipi_kind=completed.kind,
+                    initiator=initiator.name if initiator is not None else None,
+                    latency_ns=completed.latency,
+                )
+
+        op.on_complete = _complete
 
     def on_nic_irq(self, nic):
         """Physical NIC interrupt: inject a vIRQ into the owner VM's
@@ -291,13 +340,15 @@ class Hypervisor:
             raise ConfigError("NIC %r raised an IRQ but is not attached" % nic.name)
         vcpu = domain.kernel.net.irq_vcpu
         self.stats.count_virq(vcpu)
+        raised_at = self.sim.now
 
         def _inject(_arg):
             from ..guest import irqwork
 
             self.policy.on_virq(vcpu)
             vcpu.post_kernel_work(
-                irqwork.net_rx_work(domain.kernel, vcpu, nic), name="net_rx"
+                irqwork.net_rx_work(domain.kernel, vcpu, nic, raised_at=raised_at),
+                name="net_rx",
             )
 
         self.sim.schedule(self.costs.irq_inject, _inject)
@@ -352,6 +403,14 @@ class Hypervisor:
     def complete_pool_change(self, pcpu):
         """Called by the executor at its loop boundary."""
         target = pcpu.pending_pool
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                "pool_move",
+                pcpu=pcpu.info.index,
+                from_pool=pcpu.pool.name,
+                to_pool=target.name,
+            )
         stranded = pcpu.pool.remove_pcpu(pcpu)
         target.add_pcpu(pcpu)
         pcpu.pool = target
@@ -384,8 +443,9 @@ class Hypervisor:
             self.normal_pool.scheduler.requeue(vcpu)
             return False
         self.stats.count_migration(vcpu)
-        if self.tracer is not None:
-            self.tracer.emit("accelerate", vcpu=vcpu.name)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit("accelerate", vcpu=vcpu.name, wake=wake)
         return True
 
     # ------------------------------------------------------------------

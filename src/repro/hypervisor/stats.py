@@ -17,10 +17,17 @@ YIELD_CAUSES = (YIELD_IPI, YIELD_SPINLOCK, YIELD_HALT, YIELD_OTHER)
 
 
 class HvStats:
-    """Global counters plus per-domain mirrors."""
+    """Global counters plus per-domain mirrors.
 
-    def __init__(self):
+    The tracer reference keeps the trace's ``yield``/``virq_inject``
+    records emitted at exactly the counter increments, so an exported
+    trace's yield decomposition always matches these counters record
+    for record (the ``repro analyze`` round-trip guarantee).
+    """
+
+    def __init__(self, tracer=None):
         self.counters = CounterSet()
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def count_yield(self, vcpu, cause):
@@ -31,6 +38,9 @@ class HvStats:
         domain = vcpu.domain
         domain.counters.inc("yield")
         domain.counters.inc("yield_" + cause)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit("yield", vcpu=vcpu.name, domain=domain.name, cause=cause)
 
     def count_vipi(self, src, dst, kind):
         self.counters.inc("vipi")
@@ -40,6 +50,9 @@ class HvStats:
     def count_virq(self, vcpu):
         self.counters.inc("virq")
         vcpu.domain.counters.inc("virq")
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit("virq_inject", vcpu=vcpu.name, domain=vcpu.domain.name)
 
     def count_migration(self, vcpu):
         self.counters.inc("migrations")

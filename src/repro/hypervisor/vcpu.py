@@ -11,6 +11,7 @@ from collections import deque
 from ..guest.sched import GuestCpu
 from ..guest.task import ExecContext
 from ..hw.cache import CacheState
+from ..obs.runstate import RunstateAccount
 
 #: vCPU states.
 RUNNING = "running"
@@ -26,7 +27,8 @@ class VCpu:
         self.index = index
         self.name = "%s.v%d" % (domain.name, index)
         self.hv = domain.hv
-        self.state = RUNNABLE
+        self.runstate = RunstateAccount(now, RUNNABLE)
+        self._state = RUNNABLE
         self.pool = None
         self.pcpu = None           # executor currently running us
         self.priority = None       # managed by the pool scheduler
@@ -48,6 +50,29 @@ class VCpu:
         #: Comparator policies (vTurbo/vTRS models) pin vCPUs to the
         #: short-slice pool permanently instead of bouncing them back.
         self.micro_resident = False
+
+    # ------------------------------------------------------------------
+    # runstate accounting
+    # ------------------------------------------------------------------
+    @property
+    def state(self):
+        return self._state
+
+    @state.setter
+    def state(self, value):
+        """Every transition flows through here, so the runstate ledger
+        (time running / runnable / blocked — steal-time accounting) is
+        exact by construction."""
+        if value == self._state:
+            return
+        now = self.hv.sim.now
+        self.runstate.transition(now, value)
+        tracer = self.hv.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                "runstate", vcpu=self.name, from_state=self._state, to_state=value
+            )
+        self._state = value
 
     # ------------------------------------------------------------------
     # detector-visible state

@@ -1,6 +1,7 @@
 """Measurement substrate: counters, latency stats, lockstat, flow metrics."""
 
 from .counters import CounterSet
+from .histogram import Histogram, HistogramSet
 from .jitter import FlowMetrics
 from .latency import LatencyStat
 from .lockstat import LockStat
@@ -10,6 +11,8 @@ from .timeline import Series, TimelineSampler, standard_probes
 __all__ = [
     "CounterSet",
     "FlowMetrics",
+    "Histogram",
+    "HistogramSet",
     "LatencyStat",
     "LockStat",
     "Series",

@@ -54,8 +54,15 @@ class LatencyStat:
         return ordered[low] * (1 - frac) + ordered[high] * frac
 
     def merge(self, other):
-        """Fold ``other``'s aggregates into this stat (reservoir merge is
-        approximate: samples are pooled then re-trimmed)."""
+        """Fold ``other``'s aggregates into this stat.
+
+        The reservoir merge is approximate but *deterministic*: samples
+        are pooled, sorted, and re-trimmed by picking evenly spaced
+        order statistics. No RNG is involved, so merging ``a.merge(b)``
+        and ``b.merge(a)`` yields identical percentiles — a random
+        re-trim (the previous behaviour) made pooled percentiles depend
+        on merge order and RNG state across otherwise-identical runs.
+        """
         self.count += other.count
         self.total += other.total
         for bound in (other.min, other.max):
@@ -65,19 +72,29 @@ class LatencyStat:
                 self.min = bound
             if self.max is None or bound > self.max:
                 self.max = bound
-        pooled = self._sample + other._sample
-        if len(pooled) > self._reservoir_size:
-            pooled = self._rng.sample(pooled, self._reservoir_size)
+        pooled = sorted(self._sample + other._sample)
+        size = self._reservoir_size
+        if len(pooled) > size:
+            # Evenly spaced order statistics keep both endpoints and
+            # preserve the pooled quantile shape.
+            last = len(pooled) - 1
+            step = size - 1
+            pooled = [pooled[(i * last) // step] for i in range(size)]
         self._sample = pooled
 
     def snapshot(self):
-        """Plain-dict summary (ns units preserved)."""
+        """Plain-dict summary (ns units preserved) including reservoir
+        tail percentiles, so experiment results can report latency
+        tails, not just means."""
         return {
             "name": self.name,
             "count": self.count,
             "mean": self.mean,
             "min": self.min if self.min is not None else 0,
             "max": self.max if self.max is not None else 0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
 
     def __repr__(self):

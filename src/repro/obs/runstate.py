@@ -1,0 +1,98 @@
+"""Per-vCPU runstate accounting (steal-time measurement).
+
+Mirrors Xen's ``VCPUOP_get_runstate_info`` / the platform-agnostic
+steal-time lens: every vCPU's wall-clock is partitioned into
+
+* ``running``  — on a pCPU;
+* ``runnable`` — wants a pCPU but is preempted/queued (*stolen time*,
+  the quantity every VTD pathology in the paper manifests as);
+* ``blocked``  — halted idle or a parked lock waiter;
+* ``offline``  — not schedulable (unused by current scenarios, kept for
+  schema completeness).
+
+The hypervisor updates the account on every state transition (the
+``VCpu.state`` setter), so the books are exact by construction and obey
+a conservation invariant: per vCPU, the state times sum to the elapsed
+measurement window, and across the host they sum to ``window x #vCPUs``.
+:func:`validate` checks it; the test suite and ``repro analyze`` both
+call it.
+"""
+
+#: Accounted states, in report order.
+STATES = ("running", "runnable", "blocked", "offline")
+
+
+class RunstateAccount:
+    """Time-in-state ledger for one vCPU."""
+
+    __slots__ = ("times", "state", "since", "started")
+
+    def __init__(self, now, state):
+        self.times = {name: 0 for name in STATES}
+        self.state = state
+        self.since = now
+        self.started = now
+
+    def transition(self, now, new_state):
+        """Close the current state's interval and enter ``new_state``."""
+        self.times[self.state] += now - self.since
+        self.state = new_state
+        self.since = now
+
+    def reset(self, now):
+        """Zero the ledger (warmup boundary); the current state keeps
+        accruing from ``now``."""
+        for name in STATES:
+            self.times[name] = 0
+        self.since = now
+        self.started = now
+
+    def snapshot(self, now):
+        """State times including the still-open interval, plus the
+        window length — ``sum(states) == elapsed`` always holds."""
+        snap = dict(self.times)
+        snap[self.state] += now - self.since
+        snap["elapsed"] = now - self.started
+        return snap
+
+    def stolen(self, now):
+        """Steal time: ns spent runnable-but-not-running."""
+        extra = now - self.since if self.state == "runnable" else 0
+        return self.times["runnable"] + extra
+
+
+def validate(snapshot):
+    """Check one :meth:`RunstateAccount.snapshot` (or its JSON round
+    trip) for conservation: state times must sum exactly to the elapsed
+    window. Returns ``(ok, difference_ns)``."""
+    total = sum(snapshot[name] for name in STATES)
+    return total == snapshot["elapsed"], total - snapshot["elapsed"]
+
+
+def validate_result(result):
+    """Validate every vCPU snapshot in a
+    :class:`~repro.experiments.results.RunResult`. Returns a list of
+    ``(domain, vcpu, difference_ns)`` violations — empty means the
+    invariant holds host-wide."""
+    violations = []
+    for domain, vcpus in sorted(result.runstates.items()):
+        for vcpu, snap in sorted(vcpus.items()):
+            ok, diff = validate(snap)
+            if not ok:
+                violations.append((domain, vcpu, diff))
+    return violations
+
+
+def steal_report(result):
+    """Per-domain steal-time rollup from a result's runstate snapshots:
+    ``{domain: {state: total_ns, ..., "elapsed": ns}}``."""
+    report = {}
+    for domain, vcpus in sorted(result.runstates.items()):
+        rollup = {name: 0 for name in STATES}
+        rollup["elapsed"] = 0
+        for snap in vcpus.values():
+            for name in STATES:
+                rollup[name] += snap[name]
+            rollup["elapsed"] += snap["elapsed"]
+        report[domain] = rollup
+    return report

@@ -1,0 +1,53 @@
+"""Trace record schema — the typed vocabulary of ``repro.obs``.
+
+Every trace kind declares its field set here; :class:`repro.sim.trace.Tracer`
+validates emits against it (unknown kinds are allowed for ad-hoc test
+probes, but a known kind with the wrong fields is a programming error
+worth failing loudly on). The schema doubles as the documentation the
+``analyze`` tool and ``docs/observability.md`` are written against, in
+the spirit of xentrace's fixed record formats.
+
+Reserved top-level keys in the exported JSONL form: ``seq`` (per-tracer
+monotonic sequence number), ``t`` (simulation time, ns), ``kind``, and
+``job`` (added by multi-job exports). Field names below must never
+collide with those.
+"""
+
+#: kind -> frozenset of required detail fields.
+TRACE_SCHEMA = {
+    # -- scheduling ----------------------------------------------------
+    "deschedule": frozenset({"vcpu", "reason", "runtime_ns"}),
+    "yield": frozenset({"vcpu", "domain", "cause"}),
+    "sched_boost": frozenset({"vcpu", "pcpu"}),
+    "sched_tickle": frozenset({"vcpu", "pcpu", "why"}),
+    "sched_steal": frozenset({"vcpu", "from_pcpu", "to_pcpu"}),
+    "accelerate": frozenset({"vcpu", "wake"}),
+    "pool_move": frozenset({"pcpu", "from_pool", "to_pool"}),
+    # -- IPI / vIRQ flow -----------------------------------------------
+    "ipi_send": frozenset({"op", "ipi_kind", "src", "dst"}),
+    "ipi_complete": frozenset({"op", "ipi_kind", "initiator", "latency_ns"}),
+    "virq_inject": frozenset({"vcpu", "domain"}),
+    # -- guest locks ---------------------------------------------------
+    "lock_acquired": frozenset({"vcpu", "lock", "wait_ns"}),
+    "lock_release": frozenset({"vcpu", "lock"}),
+    # -- adaptive controller (the Algorithm-1 audit log) ---------------
+    "adaptive_resize": frozenset({"cores", "prev_cores", "ipi", "ple", "irq"}),
+    # -- runstate accounting -------------------------------------------
+    "runstate": frozenset({"vcpu", "from_state", "to_state"}),
+    "runstate_final": frozenset(
+        {"vcpu", "domain", "running", "runnable", "blocked", "offline", "elapsed"}
+    ),
+    # -- collection metadata (always recorded, bypasses kind filters) --
+    "meta": frozenset({"scenario", "duration_ns", "pcpus", "domains"}),
+}
+
+#: Kinds recorded even under a ``--trace-kinds`` filter: without them an
+#: exported file cannot be analyzed (no duration, no runstate tables).
+META_KINDS = frozenset({"meta", "runstate_final"})
+
+#: Reserved top-level JSONL keys (never valid as detail field names).
+RESERVED_KEYS = frozenset({"seq", "t", "kind", "job"})
+
+
+def known_kinds():
+    return sorted(TRACE_SCHEMA)

@@ -83,10 +83,14 @@ class SimJob:
     scenario_kwargs: dict = dataclasses.field(default_factory=dict)
     policy: dict = dataclasses.field(default_factory=baseline_policy)
     overrides: dict = dataclasses.field(default_factory=dict)
+    #: Optional trace request: ``{"kinds": [..] or None}``. Part of the
+    #: cache identity — a traced result carries its records in the
+    #: payload, so it must not be conflated with an untraced one.
+    trace: dict = None
 
     def spec(self):
         """The canonical, tag-free description — the cache identity."""
-        return {
+        spec = {
             "scenario": self.scenario,
             "scenario_kwargs": self.scenario_kwargs,
             "policy": self.policy,
@@ -95,6 +99,9 @@ class SimJob:
             "duration_ns": self.duration_ns,
             "warmup_ns": self.warmup_ns,
         }
+        if self.trace is not None:
+            spec["trace"] = self.trace
+        return spec
 
     def canonical(self):
         """Stable string form of :meth:`spec` (hashed by the cache)."""
@@ -160,6 +167,13 @@ def build_system(job):
         scenario.pv_spin_rounds = overrides.pop("pv_spin_rounds")
     if overrides:
         raise ConfigError("unknown scenario overrides %r" % sorted(overrides))
+
+    if job.trace is not None:
+        scenario.trace = True
+        kinds = job.trace.get("kinds")
+        scenario.trace_kinds = tuple(kinds) if kinds else None
+        # Export-bound traces must be lossless: no ring, no drops.
+        scenario.trace_capacity = None
 
     system = scenario.build()
     if mode == "vturbo":

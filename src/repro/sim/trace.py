@@ -1,56 +1,153 @@
-"""Lightweight event tracing, in the spirit of ``xentrace``.
+"""Structured event tracing, in the spirit of ``xentrace``.
 
-Tracing is off by default (a disabled tracer costs one attribute check
-per emit). Tests and the CLI enable it to inspect scheduling decisions,
-yields, migrations, and IRQ flow.
+Tracing is off by default (a disabled tracer costs its caller one
+attribute check). When enabled, every record is typed against the
+schema in :mod:`repro.obs.schema`, carries a monotonically increasing
+sequence number, and is counted per kind; the buffer exports losslessly
+to JSONL (``repro analyze`` consumes that). ``capacity`` bounds the
+in-memory ring for hot interactive runs — export-bound runs pass
+``capacity=None`` so nothing is ever dropped.
 """
 
+import json
 from collections import deque
 
+from ..errors import ConfigError
+from ..obs.schema import META_KINDS, RESERVED_KEYS, TRACE_SCHEMA
 from .time import fmt
 
 
 class TraceRecord:
-    __slots__ = ("time", "kind", "detail")
+    __slots__ = ("seq", "time", "kind", "detail")
 
-    def __init__(self, time, kind, detail):
+    def __init__(self, seq, time, kind, detail):
+        self.seq = seq
         self.time = time
         self.kind = kind
         self.detail = detail
 
+    def as_dict(self):
+        """Flat JSON-native form: reserved keys first, detail inline."""
+        record = {"seq": self.seq, "t": self.time, "kind": self.kind}
+        record.update(self.detail)
+        return record
+
     def __repr__(self):
-        return "[%s] %s %s" % (fmt(self.time), self.kind, self.detail)
+        return "[%s] #%d %s %s" % (fmt(self.time), self.seq, self.kind, self.detail)
 
 
 class Tracer:
-    """Bounded in-memory trace buffer with optional kind filtering."""
+    """Bounded (or unbounded) trace buffer with schema validation,
+    per-kind counters, and JSONL export."""
 
     def __init__(self, sim, enabled=False, capacity=100_000, kinds=None):
         self.sim = sim
         self.enabled = enabled
         self.kinds = set(kinds) if kinds else None
+        self.capacity = capacity
         self.records = deque(maxlen=capacity)
         self.dropped = 0
+        self.seq = 0
+        self.counts = {}
+
+    def _append(self, kind, detail):
+        expected = TRACE_SCHEMA.get(kind)
+        if expected is not None and set(detail) != expected:
+            raise ConfigError(
+                "trace record %r fields %s do not match schema %s"
+                % (kind, sorted(detail), sorted(expected))
+            )
+        if self.records.maxlen is not None and len(self.records) == self.records.maxlen:
+            self.dropped += 1
+        self.seq += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.records.append(TraceRecord(self.seq, self.sim.now, kind, detail))
 
     def emit(self, kind, **detail):
         if not self.enabled:
             return
         if self.kinds is not None and kind not in self.kinds:
             return
-        if len(self.records) == self.records.maxlen:
-            self.dropped += 1
-        self.records.append(TraceRecord(self.sim.now, kind, detail))
+        self._append(kind, detail)
+
+    def record_meta(self, kind, **detail):
+        """Emit a metadata record that bypasses the kind filter (but not
+        the enable switch): an exported trace must always carry its
+        ``meta``/``runstate_final`` records or ``analyze`` cannot anchor
+        durations and runstate tables."""
+        if not self.enabled:
+            return
+        if kind not in META_KINDS:
+            raise ConfigError("%r is not a meta trace kind" % (kind,))
+        self._append(kind, detail)
 
     def find(self, kind):
         """All buffered records of ``kind``, oldest first."""
         return [r for r in self.records if r.kind == kind]
 
     def clear(self):
+        """Drop buffered records and per-kind counts (warmup boundary).
+        Sequence numbers keep increasing across clears — they are
+        tracer-lifetime monotonic, which makes drops detectable."""
         self.records.clear()
+        self.counts = {}
         self.dropped = 0
+
+    def export(self):
+        """Buffered records as a list of flat JSON-native dicts."""
+        return [record.as_dict() for record in self.records]
+
+    def write_jsonl(self, path, job=None):
+        """Write the buffer to ``path`` as one JSON object per line
+        (sorted keys — byte-stable for identical runs). ``job`` labels
+        every record for multi-job trace files."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                write_record(handle, record.as_dict(), job=job)
 
     def __len__(self):
         return len(self.records)
 
     def __iter__(self):
         return iter(self.records)
+
+
+def write_record(handle, record, job=None):
+    """Append one exported record dict to an open JSONL handle."""
+    if job is not None:
+        record = dict(record)
+        record["job"] = job
+    handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    handle.write("\n")
+
+
+def write_jsonl(path, records_by_job):
+    """Write ``{job_label: [record_dict, ...]}`` to one JSONL file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for job, records in records_by_job.items():
+            for record in records:
+                write_record(handle, record, job=job)
+
+
+def load_jsonl(path):
+    """Read a JSONL trace file back into a list of record dicts."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# Re-exported so emit sites and tests can reference the vocabulary
+# without importing repro.obs directly.
+__all__ = [
+    "RESERVED_KEYS",
+    "TRACE_SCHEMA",
+    "TraceRecord",
+    "Tracer",
+    "load_jsonl",
+    "write_jsonl",
+    "write_record",
+]

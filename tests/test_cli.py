@@ -72,6 +72,34 @@ class TestMain:
         assert "error" in capsys.readouterr().err
 
 
+class TestTraceAndAnalyze:
+    def test_trace_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig7", "--trace", "--trace-out", "t.jsonl"])
+        assert args.trace == "" and args.trace_out == "t.jsonl"
+        args = parser.parse_args(["corun", "dedup", "--trace=yield,ipi_send"])
+        assert args.trace == "yield,ipi_send"
+        args = parser.parse_args(["solo", "exim", "--trace-kinds", "yield"])
+        assert args.trace_kinds == "yield"
+        assert parser.parse_args(["analyze", "t.jsonl", "--diff", "u.jsonl"]) is not None
+
+    def test_scenario_trace_export_and_analyze(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["corun", "dedup", "--duration-ms", "20", "--trace",
+             "--trace-out", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert path.exists()
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "runstate conservation: OK" in out
+        assert "yield decomposition" in out
+        assert main(["analyze", str(path), "--diff", str(path)]) == 0
+        assert "identical event counts" in capsys.readouterr().out
+
+
 class TestSweepAndCompare:
     def test_sweep_prints_table(self, capsys):
         assert main(["sweep", "gmake", "--max-cores", "1", "--duration-ms", "40"]) == 0

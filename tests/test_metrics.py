@@ -54,7 +54,16 @@ class TestLatencyStat:
         stat = LatencyStat(name="x")
         stat.record(5)
         snap = stat.snapshot()
-        assert snap == {"name": "x", "count": 1, "mean": 5.0, "min": 5, "max": 5}
+        assert snap == {
+            "name": "x",
+            "count": 1,
+            "mean": 5.0,
+            "min": 5,
+            "max": 5,
+            "p50": 5.0,
+            "p95": 5.0,
+            "p99": 5.0,
+        }
 
 
 class TestCounterSet:
