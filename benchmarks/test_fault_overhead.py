@@ -1,0 +1,46 @@
+"""Fault-hook overhead microbenchmarks.
+
+The fault subsystem promises that a run *without* a plan pays nothing:
+every hook site is one ``hv.faults is None`` check, and an empty plan
+never installs an injector at all. These benchmarks quantify that
+promise — the standard co-run scenario with the hooks in their disabled
+state (no plan) vs. enabled by a minimal plan whose only window opens
+after the run ends (every hook consults live injector state, nothing
+ever fires) — and fold both rates into ``BENCH_engine.json``.
+"""
+
+from test_simulator_perf import BENCH_JSON, _mean, _record  # noqa: F401
+
+from repro.faults import FaultPlan
+from repro.experiments.scenarios import corun_scenario
+from repro.sim.time import ms
+
+
+class TestFaultHookOverhead:
+    def _run(self, plan):
+        scenario = corun_scenario("dedup", seed=7)
+        scenario.faults = plan
+        system = scenario.build()
+        system.run(ms(50))
+        return system
+
+    def test_corun_hooks_off(self, benchmark):
+        system = benchmark.pedantic(self._run, args=(None,), rounds=1, iterations=1)
+        assert system.hv.faults is None
+        _record(
+            "corun_faults_off_events_per_sec",
+            system.sim.executed_events / _mean(benchmark),
+        )
+
+    def test_corun_hooks_enabled_empty(self, benchmark):
+        # The window opens at t=1 h of simulated time — far past the run
+        # — so the injector is installed and every hook site pays the
+        # live-state path, but no fault ever activates.
+        plan = FaultPlan("enabled-empty").add("stale_profile", ms(3_600_000))
+        system = benchmark.pedantic(self._run, args=(plan,), rounds=1, iterations=1)
+        assert system.hv.faults is not None
+        assert system.hv.faults.counters == {}
+        _record(
+            "corun_faults_enabled_empty_events_per_sec",
+            system.sim.executed_events / _mean(benchmark),
+        )

@@ -13,7 +13,7 @@ import argparse
 import sys
 
 from .core.policy import PolicySpec
-from .errors import ReproError
+from .errors import FaultError, ReproError
 from .experiments import common, corun_scenario, registry, solo_scenario
 from .metrics.report import render_table
 from .sim.time import ms
@@ -56,6 +56,7 @@ def _cmd_run(args):
         cache=False if args.no_cache else None,
         trace=_trace_request(args),
         trace_out=args.trace_out,
+        faults=getattr(args, "faults", None),
         seed=args.seed,
         scale_override=args.scale,
     )
@@ -168,9 +169,16 @@ def _cmd_scenario(args, builder):
         if args.trace_out:
             scenario.trace_capacity = None  # lossless when exporting
     duration = ms(args.duration_ms)
+    faults_request = getattr(args, "faults", None)
+    if faults_request is not None:
+        from .faults import resolve_plan
+
+        scenario.faults = resolve_plan(faults_request, duration)
     system = scenario.build()
     result = system.run(duration)
     _summarise(result, duration)
+    if result.faults is not None:
+        _report_faults(result.faults)
     if trace is not None:
         tracer = system.tracer
         print("\ntrace: %d records (%d dropped)" % (len(tracer), tracer.dropped))
@@ -178,6 +186,56 @@ def _cmd_scenario(args, builder):
             tracer.write_jsonl(args.trace_out)
             print("trace written to %s" % args.trace_out)
     return 0
+
+
+def _report_faults(digest):
+    """Print the degradation digest; raise on invariant violations so
+    the process exits non-zero (a degraded run is fine, a nonsensical
+    one is not)."""
+    counters = digest.get("counters", {})
+    rows = [[key, counters[key]] for key in sorted(counters)]
+    for section in ("detector", "controller"):
+        for key, value in sorted(digest.get(section, {}).items()):
+            rows.append(["%s.%s" % (section, key), value])
+    print()
+    print(render_table(["fault counter", "value"], rows,
+                       title="fault injection: %s" % digest.get("plan")))
+    violations = digest.get("invariant_violations", [])
+    if violations:
+        raise FaultError(
+            "invariant check failed (%d violations):\n  %s"
+            % (len(violations), "\n  ".join(violations))
+        )
+    print("invariants: OK (%d IPI ops still legitimately in flight)"
+          % digest.get("pending_ipis", 0))
+
+
+def _cmd_faults(args):
+    from .faults import FAULT_KINDS, builtin_plans, make_builtin
+
+    rows = []
+    for name in builtin_plans():
+        plan = make_builtin(name)
+        kinds = ",".join(sorted({spec.kind for spec in plan}))
+        rows.append([name, kinds, plan.description])
+    print(render_table(["plan", "kinds", "description"],
+                       rows, title="built-in fault plans (use: --faults NAME)"))
+    if args.kinds:
+        print()
+        kind_rows = [
+            [kind, ", ".join("%s=%r" % (k, v) for k, v in sorted(params.items())) or "-"]
+            for kind, params in sorted(FAULT_KINDS.items())
+        ]
+        print(render_table(["fault kind", "parameters (defaults)"], kind_rows,
+                           title="fault kinds for hand-written plan JSON"))
+    return 0
+
+
+def _add_faults_arg(parser):
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="inject faults: a built-in plan name (see 'repro faults') "
+        "or a path to a plan JSON file")
 
 
 def _add_trace_args(parser):
@@ -214,6 +272,7 @@ def build_parser():
     run_p.add_argument("--no-cache", action="store_true",
                        help="ignore and do not write the on-disk result cache")
     _add_trace_args(run_p)
+    _add_faults_arg(run_p)
 
     for name, help_text in (
         ("corun", "run a workload co-located with swaptions"),
@@ -226,6 +285,11 @@ def build_parser():
         p.add_argument("--seed", type=int, default=42)
         p.add_argument("--duration-ms", type=int, default=250)
         _add_trace_args(p)
+        _add_faults_arg(p)
+
+    faults_p = sub.add_parser("faults", help="list built-in fault plans")
+    faults_p.add_argument("--kinds", action="store_true",
+                          help="also document every fault kind and its parameters")
 
     an_p = sub.add_parser("analyze", help="analyze an exported JSONL trace")
     an_p.add_argument("file", help="trace file written by --trace-out")
@@ -267,6 +331,8 @@ def main(argv=None):
             return _cmd_compare(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "faults":
+            return _cmd_faults(args)
         if args.command == "solo":
             return _cmd_scenario(args, lambda wl, policy, seed: solo_scenario(wl, policy=policy, seed=seed))
     except ReproError as err:

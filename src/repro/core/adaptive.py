@@ -13,6 +13,7 @@ configuration):
   that produced the fewest IPI yields.
 """
 
+from ..errors import FaultError
 from ..sim.time import ms
 
 #: Default Algorithm-1 parameters (paper §4.3/§5).
@@ -21,6 +22,9 @@ EPOCH_INTERVAL = ms(1000)
 NUM_LIMIT_UCORES = 3
 #: Events per profile interval below which the system counts as idle.
 URGENT_THRESHOLD = 1
+#: How many times a refused cpupool resize is retried (with doubling
+#: backoff) before the controller gives up until its next decision.
+RESIZE_RETRIES = 3
 
 
 class AdaptiveController:
@@ -42,6 +46,10 @@ class AdaptiveController:
         self.num_ucores = 0
         self.ur_events = {}
         self.decisions = []   # (time, num_ucores) history for tests/plots
+        #: Degraded-mode accounting (fault injection).
+        self.failed_resizes = 0
+        self.abandoned_resizes = 0
+        self.stale_clamps = 0
 
     def start(self, hv):
         self.hv = hv
@@ -54,7 +62,13 @@ class AdaptiveController:
         drove the decision (the Algorithm-1 audit trail in the trace)."""
         prev = self.num_ucores
         self.num_ucores = count
-        self.hv.set_micro_cores(count)
+        try:
+            self.hv.set_micro_cores(count)
+        except FaultError:
+            # Refused (fault injection): keep the decision and retry it
+            # with bounded backoff; Algorithm 1 proceeds undisturbed.
+            self.failed_resizes += 1
+            self._schedule_resize_retry(count, attempt=1)
         self.decisions.append((self.hv.sim.now, count))
         tracer = getattr(self.hv, "tracer", None)
         if tracer is not None and tracer.enabled:
@@ -67,6 +81,33 @@ class AdaptiveController:
                 ple=events.get("ple", 0),
                 irq=events.get("irq", 0),
             )
+
+    def _schedule_resize_retry(self, count, attempt):
+        """Retry a refused resize after ``profile_interval/4 * 2^(n-1)``."""
+        delay = (self.profile_interval // 4) << (attempt - 1)
+        self.hv.sim.schedule(max(1, delay), self._retry_resize, (count, attempt))
+
+    def _retry_resize(self, arg):
+        count, attempt = arg
+        if self.num_ucores != count:
+            return  # superseded by a newer decision; nothing to repair
+        try:
+            self.hv.set_micro_cores(count)
+        except FaultError:
+            self.failed_resizes += 1
+            if attempt >= RESIZE_RETRIES:
+                self.abandoned_resizes += 1
+                faults = getattr(self.hv, "faults", None)
+                if faults is not None:
+                    faults.count("resize_abandoned")
+                    faults.warn_degraded(
+                        "poolmove_fail",
+                        "cpupool resize still refused after %d retries; "
+                        "keeping the current micro-core count until the "
+                        "next Algorithm-1 decision" % RESIZE_RETRIES,
+                    )
+                return
+            self._schedule_resize_retry(count, attempt + 1)
 
     def _urgent(self, events):
         return (
@@ -90,6 +131,24 @@ class AdaptiveController:
     def _tick(self, _arg=None):
         hv = self.hv
         stats = hv.stats
+        faults = getattr(hv, "faults", None)
+        if faults is not None and faults.profile_stale:
+            # Profile windows are reporting stale counts (fault
+            # injection): resizing on garbage thrashes the pools, so
+            # clamp — keep the current configuration for one epoch and
+            # re-profile once the input is trustworthy again.
+            self.stale_clamps += 1
+            faults.count("stale_profile_clamps")
+            faults.trace("fault_recover", "stale_profile", None, action="clamped")
+            faults.warn_degraded(
+                "stale_profile",
+                "Algorithm-1 profile windows are stale; clamping the "
+                "micro-core count instead of resizing on garbage",
+            )
+            self.profile_mode = False
+            stats.mark_window()
+            hv.sim.schedule(self.epoch_interval, self._tick)
+            return
         if not self.profile_mode:
             # Initialise a profiling phase: observe one interval with no
             # micro-sliced cores.

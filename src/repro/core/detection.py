@@ -7,8 +7,22 @@ provided out of band), and checks the symbol against the Table-3
 whitelist. A hit identifies a vCPU suspended inside a critical OS
 service — a lock holder mid-critical-section, a TLB-shootdown
 participant, an interrupt path — without any guest modification.
+
+Degraded mode: the symbol table is an out-of-band input, so it can go
+away (guest kexec, stale ``System.map``, management-plane hiccup —
+modelled by the ``symbol_table`` fault kind). While a guest's
+``kernel.symbol_fault`` is set the detector does not hard-fail:
+
+* ``"miss"`` — resolution is unavailable. The detector falls back to
+  the address ranges it *learned* from earlier healthy critical hits
+  (IP-range matching needs no names), counting every consulted miss in
+  ``symbol_misses`` and every rescue in ``fallback_hits``.
+* ``"corrupt"`` — resolution succeeds but returns the neighbouring
+  symbol, so classification misfires both ways (missed criticals and
+  false positives). This models a skewed/stale map.
 """
 
+from ..guest.symbols import KERNEL_TEXT_BASE
 from .whitelist import SIBLING_CLASSES, classify
 
 
@@ -41,16 +55,80 @@ class CriticalServiceDetector:
         self._classify = whitelist_classify
         self.inspections = 0
         self.hits = 0
+        #: Degraded-mode accounting (symbol_table faults only).
+        self.symbol_misses = 0
+        self.fallback_hits = 0
+        self._learned = {}        # kernel -> {(lo, hi): (name, class)}
+        self._corrupt_maps = {}   # kernel -> {name: neighbouring name}
 
     def inspect(self, vcpu):
         """Classify one vCPU from its current instruction pointer."""
         self.inspections += 1
-        table = vcpu.domain.kernel.symbols
-        symbol = table.resolve_name(vcpu.ip)
+        kernel = vcpu.domain.kernel
+        fault = getattr(kernel, "symbol_fault", None)
+        if fault is None:
+            found = kernel.symbols.lookup(vcpu.ip)
+            symbol = found.name if found is not None else None
+            critical_class = self._classify(symbol)
+            if critical_class is not None:
+                self.hits += 1
+                self._learn(kernel, found, critical_class)
+            return Detection(vcpu, symbol, critical_class)
+        if fault == "miss":
+            return self._inspect_without_table(vcpu, kernel)
+        return self._inspect_corrupted(vcpu, kernel)
+
+    def _inspect_without_table(self, vcpu, kernel):
+        """Resolution unavailable: match the IP against address ranges
+        learned from earlier healthy hits."""
+        ip = vcpu.ip
+        symbol = critical_class = None
+        if ip is not None and ip >= KERNEL_TEXT_BASE:
+            self.symbol_misses += 1
+            for (lo, hi), (name, learned_class) in self._learned.get(
+                kernel, {}
+            ).items():
+                if lo <= ip < hi:
+                    symbol, critical_class = name, learned_class
+                    break
+        if critical_class is not None:
+            self.hits += 1
+            self.fallback_hits += 1
+        return Detection(vcpu, symbol, critical_class)
+
+    def _inspect_corrupted(self, vcpu, kernel):
+        """Resolution 'works' but hands back the neighbouring symbol."""
+        symbol = kernel.symbols.resolve_name(vcpu.ip)
+        if symbol is not None:
+            self.symbol_misses += 1
+            symbol = self._neighbour(kernel, symbol)
         critical_class = self._classify(symbol)
         if critical_class is not None:
             self.hits += 1
         return Detection(vcpu, symbol, critical_class)
+
+    def _learn(self, kernel, found, critical_class):
+        """Remember the address range of a healthy critical hit so the
+        ``miss`` fallback can keep classifying without names."""
+        if found is None:
+            return
+        ranges = self._learned.setdefault(kernel, {})
+        key = (found.address, found.end)
+        if key not in ranges:
+            ranges[key] = (found.name, critical_class)
+
+    def _neighbour(self, kernel, name):
+        """Deterministic wrong answer: the next symbol in address order
+        (wrapping), the way an off-by-one-entry stale map resolves."""
+        mapping = self._corrupt_maps.get(kernel)
+        if mapping is None:
+            names = [symbol.name for symbol in kernel.symbols]
+            mapping = {
+                current: names[(index + 1) % len(names)]
+                for index, current in enumerate(names)
+            }
+            self._corrupt_maps[kernel] = mapping
+        return mapping.get(name, name)
 
     def scan_preempted_siblings(self, vcpu):
         """Inspect the *preempted* (runnable but descheduled) siblings of

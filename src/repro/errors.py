@@ -33,3 +33,21 @@ class WorkloadError(ReproError):
 
 class SymbolTableError(ReproError):
     """A kernel symbol table could not be built, parsed, or queried."""
+
+
+class TraceError(ReproError):
+    """An exported trace file could not be read or parsed (truncated,
+    malformed JSONL, or missing required record fields)."""
+
+
+class FaultError(ReproError):
+    """Raised by the fault-injection subsystem: an invalid fault plan,
+    an injected failure surfacing to a caller (e.g. a refused cpupool
+    move), or a post-run invariant violation."""
+
+
+class DegradedModeWarning(Warning):
+    """A layer lost one of its inputs under fault injection and switched
+    to a degraded fallback (symbol-table miss heuristic, clamped
+    adaptive decisions, forced IPI acknowledgements). A warning rather
+    than an error: the run continues, with reduced fidelity."""

@@ -1,9 +1,22 @@
 """Name → experiment module registry (used by the CLI and the bench
 harness)."""
 
-from ..errors import ConfigError
+from ..errors import ConfigError, FaultError
 from .. import runner
-from . import fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table4a, table4b, table4c
+from . import (
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    resilience,
+    table1,
+    table2,
+    table4a,
+    table4b,
+    table4c,
+)
 
 _EXPERIMENTS = {
     "table1": table1,
@@ -17,6 +30,7 @@ _EXPERIMENTS = {
     "fig7": fig7,
     "fig8": fig8,
     "fig9": fig9,
+    "resilience": resilience,
 }
 
 
@@ -33,7 +47,7 @@ def get(name):
     return module
 
 
-def run(name, workers=None, cache=None, trace=None, trace_out=None, **kwargs):
+def run(name, workers=None, cache=None, trace=None, trace_out=None, faults=None, **kwargs):
     """Run one experiment; returns ``(results, formatted_text)``.
 
     ``workers``/``cache`` pass through to :func:`repro.runner.execute`
@@ -47,16 +61,47 @@ def run(name, workers=None, cache=None, trace=None, trace_out=None, **kwargs):
     ``repro analyze`` consumes. Trace payloads travel inside the result
     dicts, so serial, parallel, and cache-replay runs export
     byte-identical files.
+
+    ``faults`` (a built-in plan name, a plan-JSON path, a plan dict, or
+    a :class:`~repro.faults.FaultPlan`) applies one fault plan to every
+    job in the plan — built-in names are re-resolved against each job's
+    own warmup+duration horizon. After a faulted run, any invariant
+    violation raises :class:`~repro.errors.FaultError` carrying the full
+    per-job report.
     """
     module = get(name)
     jobs = module.plan(**kwargs)
     if trace is not None:
         for job in jobs:
             job.trace = dict(trace)
+    if faults is not None:
+        from ..faults import resolve_plan
+
+        for job in jobs:
+            if job.faults is None:
+                horizon = job.warmup_ns + job.duration_ns
+                job.faults = resolve_plan(faults, horizon).to_dict()
     by_tag = runner.execute(jobs, workers=workers, cache=cache)
     if trace_out is not None:
         from ..sim.trace import write_jsonl
 
         write_jsonl(trace_out, {job.tag: by_tag[job.tag].trace for job in jobs})
+    _check_fault_invariants(by_tag)
     results = module.reduce(by_tag)
     return results, module.format_result(results)
+
+
+def _check_fault_invariants(by_tag):
+    """Fail loudly when any faulted job's invariant check found
+    violations — a degraded result is fine, a nonsensical one is not."""
+    broken = []
+    for tag in sorted(by_tag):
+        digest = by_tag[tag].faults
+        if digest and digest.get("invariant_violations"):
+            for violation in digest["invariant_violations"]:
+                broken.append("%s: %s" % (tag, violation))
+    if broken:
+        raise FaultError(
+            "invariant check failed for %d faulted job(s):\n  %s"
+            % (len(broken), "\n  ".join(broken))
+        )

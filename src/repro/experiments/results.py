@@ -45,6 +45,9 @@ class RunResult:
         self.runstates = {}      # domain -> {vcpu: runstate snapshot}
         self.histograms = {}     # name -> histogram snapshot
         self.trace = []          # exported trace records (when tracing)
+        #: Fault-injection digest + invariant report; None for healthy
+        #: runs (and absent from to_dict, keeping them byte-identical).
+        self.faults = None
 
     @classmethod
     def collect(cls, system, duration_ns):
@@ -97,14 +100,23 @@ class RunResult:
                         elapsed=snap["elapsed"],
                     )
             result.trace = tracer.export()
+        injector = hv.faults
+        if injector is not None:
+            from ..faults.invariants import check_system
+
+            digest = injector.summary()
+            digest["invariant_violations"] = check_system(system)
+            result.faults = digest
         return result
 
     # ------------------------------------------------------------------
     # serialization (used by the parallel runner and the result cache)
     # ------------------------------------------------------------------
     def to_dict(self):
-        """JSON-serializable snapshot of every collected field."""
-        return {
+        """JSON-serializable snapshot of every collected field. The
+        ``faults`` key exists only for faulted runs, so healthy payloads
+        are byte-identical to what they were before fault injection."""
+        payload = {
             "scenario_name": self.scenario_name,
             "duration_ns": self.duration_ns,
             "workloads": {
@@ -127,6 +139,9 @@ class RunResult:
             "histograms": _jsonable(self.histograms),
             "trace": _jsonable(self.trace),
         }
+        if self.faults is not None:
+            payload["faults"] = _jsonable(self.faults)
+        return payload
 
     @classmethod
     def from_dict(cls, payload):
@@ -150,6 +165,7 @@ class RunResult:
         result.runstates = payload.get("runstates", {})
         result.histograms = payload.get("histograms", {})
         result.trace = payload.get("trace", [])
+        result.faults = payload.get("faults")
         return result
 
     # ------------------------------------------------------------------

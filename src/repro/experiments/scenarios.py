@@ -77,6 +77,10 @@ class Scenario:
     trace: bool = False
     trace_kinds: tuple = None   # None = all kinds
     trace_capacity: int = 100_000  # None = lossless (unbounded)
+    #: Fault plan (a FaultPlan or its dict form) or None. Resolution of
+    #: builtin names / files happens in the CLI and runner layers, which
+    #: know the run horizon; by build time this is a concrete plan.
+    faults: object = None
 
     def add_vm(self, name, vcpus=12, weight=256, pin_to=None):
         spec = VmSpec(name=name, vcpus=vcpus, weight=weight, pin_to=pin_to)
@@ -113,6 +117,14 @@ class Scenario:
                 workload.install(domain, hub)
                 workloads["%s:%s" % (domain.name, workload.name)] = workload
         self.policy.install(hv)
+        if self.faults is not None:
+            from ..faults import FaultInjector, FaultPlan
+
+            plan = self.faults
+            if not isinstance(plan, FaultPlan):
+                plan = FaultPlan.from_dict(plan)
+            if not plan.empty:
+                FaultInjector(plan, seed=self.seed).install(hv)
         return System(self, sim, hv, workloads, tracer)
 
 

@@ -1,0 +1,36 @@
+"""``repro.faults`` — deterministic fault injection, graceful
+degradation, and post-run invariant checking.
+
+The subsystem has four parts:
+
+* :mod:`~repro.faults.plan` — the declarative, JSON-loadable
+  :class:`FaultPlan` (what breaks, when, how hard);
+* :mod:`~repro.faults.inject` — the :class:`FaultInjector` that
+  compiles a plan into DES events and carries the runtime fault state
+  the degradation hooks consult (``hv.faults``);
+* :mod:`~repro.faults.builtin` — named, horizon-scaled plans usable
+  from ``--faults NAME`` and the ``resilience`` experiment;
+* :mod:`~repro.faults.invariants` — conservation checks every faulted
+  run must still satisfy.
+
+See ``docs/faults.md`` for the plan schema and degradation semantics.
+"""
+
+from .builtin import available as builtin_plans
+from .builtin import make as make_builtin
+from .builtin import resolve as resolve_plan
+from .inject import FaultInjector
+from .invariants import assert_invariants, check_system
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "assert_invariants",
+    "builtin_plans",
+    "check_system",
+    "make_builtin",
+    "resolve_plan",
+]

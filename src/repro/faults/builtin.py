@@ -1,0 +1,160 @@
+"""Built-in fault plans.
+
+Each built-in is a factory parameterised by the run *horizon* (warmup +
+measured duration): fault windows are placed at fixed fractions of the
+horizon so the same named plan exercises a 20 ms smoke run and a
+multi-second benchmark alike. ``repro faults`` lists these; ``--faults
+NAME`` resolves them per job against that job's actual horizon.
+
+All probabilistic parameters are deterministic per (plan, seed) — see
+:class:`~repro.faults.inject.FaultInjector`.
+"""
+
+from ..errors import FaultError
+from ..sim.time import ms, us
+from .plan import FaultPlan
+
+#: Default horizon used when listing plans without a concrete run.
+DEFAULT_HORIZON = ms(620)
+
+
+def _sym_outage(h):
+    plan = FaultPlan(
+        "symbol-outage",
+        description="guest System.map unavailable mid-run; detector falls "
+        "back to learned address ranges",
+    )
+    plan.add("symbol_table", int(0.35 * h), int(0.75 * h), mode="miss")
+    return plan
+
+
+def _sym_corrupt(h):
+    plan = FaultPlan(
+        "symbol-corrupt",
+        description="symbol resolution returns neighbouring (wrong) symbols; "
+        "classification misfires",
+    )
+    plan.add("symbol_table", int(0.35 * h), int(0.75 * h), mode="corrupt")
+    return plan
+
+
+def _lossy_ipi(h):
+    plan = FaultPlan(
+        "lossy-ipi",
+        description="15% of vIPI messages dropped; hypervisor re-sends with "
+        "bounded retries, then force-acks",
+    )
+    plan.add(
+        "ipi_drop",
+        int(0.30 * h),
+        int(0.80 * h),
+        prob=0.15,
+        max_resends=3,
+        resend_ns=int(us(200)),
+    )
+    return plan
+
+
+def _slow_ipi(h):
+    plan = FaultPlan(
+        "slow-ipi",
+        description="every vIPI delayed an extra 30 us on the wire",
+    )
+    plan.add("ipi_delay", int(0.30 * h), int(0.80 * h), prob=1.0, delay_ns=int(us(30)))
+    return plan
+
+
+def _hotplug(h):
+    plan = FaultPlan(
+        "cpu-hotplug",
+        description="two pCPUs go offline mid-run and come back later",
+    )
+    plan.add("pcpu_offline", int(0.35 * h), pcpu=11)
+    plan.add("pcpu_offline", int(0.40 * h), pcpu=10)
+    plan.add("pcpu_online", int(0.70 * h), pcpu=11)
+    plan.add("pcpu_online", int(0.75 * h), pcpu=10)
+    return plan
+
+
+def _stale_profile(h):
+    plan = FaultPlan(
+        "stale-profile",
+        description="Algorithm-1 profile windows report stale counts; the "
+        "controller clamps instead of resizing on garbage",
+    )
+    plan.add("stale_profile", int(0.30 * h), int(0.70 * h))
+    return plan
+
+
+def _ple_misconfig(h):
+    plan = FaultPlan(
+        "ple-misconfig",
+        description="PLE disabled mid-run (window=0): spinners burn whole "
+        "slices instead of trapping in microseconds",
+    )
+    plan.add("ple_misconfig", int(0.30 * h), int(0.70 * h), window=0)
+    return plan
+
+
+def _pool_flap(h):
+    plan = FaultPlan(
+        "pool-flap",
+        description="70% of cpupool resize requests refused; the adaptive "
+        "controller retries with bounded backoff",
+    )
+    plan.add("poolmove_fail", int(0.25 * h), int(0.75 * h), prob=0.7)
+    return plan
+
+
+_BUILTINS = {
+    "symbol-outage": _sym_outage,
+    "symbol-corrupt": _sym_corrupt,
+    "lossy-ipi": _lossy_ipi,
+    "slow-ipi": _slow_ipi,
+    "cpu-hotplug": _hotplug,
+    "stale-profile": _stale_profile,
+    "ple-misconfig": _ple_misconfig,
+    "pool-flap": _pool_flap,
+}
+
+
+def available():
+    """Sorted built-in plan names."""
+    return sorted(_BUILTINS)
+
+
+def make(name, horizon_ns=DEFAULT_HORIZON):
+    """Instantiate the built-in plan ``name`` against a run horizon."""
+    factory = _BUILTINS.get(name)
+    if factory is None:
+        raise FaultError(
+            "unknown built-in fault plan %r (available: %s)"
+            % (name, ", ".join(available()))
+        )
+    return factory(int(horizon_ns))
+
+
+def describe(name):
+    return make(name).description
+
+
+def resolve(request, horizon_ns=DEFAULT_HORIZON):
+    """Resolve a CLI/runner fault request into a :class:`FaultPlan`.
+
+    ``request`` may be a built-in name, a path to a plan JSON file, a
+    plan dict, or an already-built plan.
+    """
+    if isinstance(request, FaultPlan):
+        return request
+    if isinstance(request, dict):
+        return FaultPlan.from_dict(request)
+    if isinstance(request, str):
+        if request in _BUILTINS:
+            return make(request, horizon_ns)
+        if request.endswith(".json"):
+            return FaultPlan.from_file(request)
+        raise FaultError(
+            "unknown fault plan %r: not a built-in (%s) and not a .json file"
+            % (request, ", ".join(available()))
+        )
+    raise FaultError("cannot resolve fault plan from %r" % (request,))

@@ -1,0 +1,223 @@
+"""The fault injector: compiles a plan into DES events and carries the
+runtime fault state the degradation hooks consult.
+
+One :class:`FaultInjector` is created per built scenario (when a plan
+was requested) and hung off the hypervisor as ``hv.faults``. Every hook
+site in the hypervisor, detector, and adaptive controller does exactly
+one ``is None`` check on the happy path — a run without a plan executes
+the same instruction stream it always did, which is what keeps no-fault
+results byte-identical.
+
+Determinism: all probabilistic decisions draw from a single named
+stream derived from ``(scenario seed, plan name, plan salt)`` via
+:func:`repro.sim.rng.derive_seed`. Decisions are only drawn while the
+corresponding fault window is active, so the stream's consumption
+pattern — and therefore the whole faulted run — is a pure function of
+(plan, seed).
+"""
+
+import random
+import warnings
+
+from ..errors import DegradedModeWarning, FaultError
+from ..hw.ple import PleConfig
+from ..sim.rng import derive_seed
+from .plan import INSTANT_KINDS
+
+
+class FaultInjector:
+    """Runtime fault state + the scheduled injection events."""
+
+    def __init__(self, plan, seed=0):
+        self.plan = plan
+        self.seed = seed
+        self.rng = random.Random(
+            derive_seed(seed, "faults:%s:%d" % (plan.name, plan.seed_salt))
+        )
+        self.hv = None
+        self.counters = {}
+        #: Active-window state the hook sites read.
+        self.ipi_drop = None        # params dict while an ipi_drop window is open
+        self.ipi_delay = None       # params dict while an ipi_delay window is open
+        self.poolmove = None        # params dict while a poolmove_fail window is open
+        self.profile_stale = False  # True while a stale_profile window is open
+        #: op id -> (op, first_send_ns): every IPI op relayed while the
+        #: injector is installed; completion removes the entry, so what
+        #: remains at check time is exactly the unfinished set.
+        self.pending_ipis = {}
+        self._saved_ple = None
+        self._warned = set()
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+    def install(self, hv):
+        """Attach to a built hypervisor and schedule every fault event.
+        Must run before the simulation's first event executes."""
+        self.hv = hv
+        hv.faults = self
+        for spec in self.plan:
+            hv.sim.schedule(spec.at_ns, self._activate, spec)
+            if spec.until_ns is not None:
+                hv.sim.schedule(spec.until_ns, self._deactivate, spec)
+        return self
+
+    # ------------------------------------------------------------------
+    # accounting / tracing
+    # ------------------------------------------------------------------
+    def count(self, name, delta=1):
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def trace(self, kind, fault, target, action=None):
+        tracer = self.hv.tracer if self.hv is not None else None
+        if tracer is None or not tracer.enabled:
+            return
+        if action is None:
+            tracer.emit(kind, fault=fault, target=target)
+        else:
+            tracer.emit(kind, fault=fault, target=target, action=action)
+
+    def warn_degraded(self, topic, message):
+        """Emit one :class:`DegradedModeWarning` per topic per run."""
+        if topic in self._warned:
+            return
+        self._warned.add(topic)
+        warnings.warn(message, DegradedModeWarning, stacklevel=3)
+
+    # ------------------------------------------------------------------
+    # window activation
+    # ------------------------------------------------------------------
+    def _activate(self, spec):
+        kind, params = spec.kind, spec.params
+        self.count("injected_" + kind)
+        self.trace("fault_inject", kind, _target_of(spec))
+        if kind == "symbol_table":
+            self._set_symbol_fault(params, params["mode"])
+        elif kind == "ipi_drop":
+            self.ipi_drop = params
+        elif kind == "ipi_delay":
+            self.ipi_delay = params
+        elif kind == "poolmove_fail":
+            self.poolmove = params
+        elif kind == "stale_profile":
+            self.profile_stale = True
+        elif kind == "ple_misconfig":
+            if self._saved_ple is None:
+                self._saved_ple = self.hv.ple
+            window = int(params["window"])
+            self.hv.ple = PleConfig(enabled=window > 0, window=window or 1)
+        elif kind == "pcpu_offline":
+            self.hv.offline_pcpu(self._pcpu_index(spec))
+        elif kind == "pcpu_online":
+            self.hv.online_pcpu(self._pcpu_index(spec))
+
+    def _deactivate(self, spec):
+        kind, params = spec.kind, spec.params
+        self.count("recovered_" + kind)
+        self.trace("fault_recover", kind, _target_of(spec), action="restored")
+        if kind == "symbol_table":
+            self._set_symbol_fault(params, None)
+        elif kind == "ipi_drop":
+            self.ipi_drop = None
+        elif kind == "ipi_delay":
+            self.ipi_delay = None
+        elif kind == "poolmove_fail":
+            self.poolmove = None
+        elif kind == "stale_profile":
+            self.profile_stale = False
+        elif kind == "ple_misconfig":
+            if self._saved_ple is not None:
+                self.hv.ple = self._saved_ple
+                self._saved_ple = None
+
+    def _set_symbol_fault(self, params, mode):
+        name = params.get("domain")
+        matched = False
+        for domain in self.hv.domains:
+            if name is None or domain.name == name:
+                domain.kernel.symbol_fault = mode
+                matched = True
+        if not matched:
+            raise FaultError("symbol_table fault targets unknown domain %r" % name)
+
+    def _pcpu_index(self, spec):
+        index = spec.params.get("pcpu")
+        if index is None or not 0 <= int(index) < len(self.hv.pcpus):
+            raise FaultError(
+                "fault %r needs a valid pcpu index (got %r, host has %d)"
+                % (spec.kind, index, len(self.hv.pcpus))
+            )
+        return int(index)
+
+    # ------------------------------------------------------------------
+    # hook-site queries (hot paths — called only when hv.faults is set)
+    # ------------------------------------------------------------------
+    def note_ipi_send(self, op):
+        if op.id not in self.pending_ipis:
+            self.pending_ipis[op.id] = (op, self.hv.sim.now)
+
+    def note_ipi_complete(self, op):
+        self.pending_ipis.pop(op.id, None)
+
+    def ipi_decision(self, dst, attempt):
+        """Transport verdict for one IPI message: ``("drop", resend_ns)``
+        to drop and retry, ``("timeout", None)`` when the resend budget
+        is exhausted, or ``("deliver", extra_delay_ns)``."""
+        drop = self.ipi_drop
+        if drop is not None and self.rng.random() < drop["prob"]:
+            self.count("ipi_dropped")
+            self.trace("fault_inject", "ipi_drop", dst.name)
+            if attempt >= int(drop["max_resends"]):
+                self.count("ipi_timeouts")
+                return ("timeout", None)
+            self.count("ipi_resends")
+            return ("drop", int(drop["resend_ns"]))
+        delay = self.ipi_delay
+        if delay is not None and self.rng.random() < delay["prob"]:
+            self.count("ipi_delayed")
+            return ("deliver", int(delay["delay_ns"]))
+        return ("deliver", 0)
+
+    def poolmove_refused(self):
+        """Whether this set_micro_cores call should fail."""
+        params = self.poolmove
+        if params is None or self.rng.random() >= params["prob"]:
+            return False
+        self.count("poolmove_refused")
+        self.trace("fault_inject", "poolmove_fail", None)
+        return True
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self):
+        """JSON-native digest for :class:`~repro.experiments.results.RunResult`."""
+        data = {
+            "plan": self.plan.name,
+            "counters": {key: self.counters[key] for key in sorted(self.counters)},
+            "pending_ipis": len(self.pending_ipis),
+        }
+        policy = getattr(self.hv, "policy", None)
+        detector = getattr(policy, "detector", None)
+        if detector is not None:
+            data["detector"] = {
+                "symbol_misses": detector.symbol_misses,
+                "fallback_hits": detector.fallback_hits,
+            }
+        controller = getattr(policy, "controller", None)
+        if controller is not None:
+            data["controller"] = {
+                "failed_resizes": controller.failed_resizes,
+                "abandoned_resizes": controller.abandoned_resizes,
+                "stale_clamps": controller.stale_clamps,
+            }
+        return data
+
+
+def _target_of(spec):
+    """Best-effort target label for a spec's inject/recover records."""
+    if spec.kind in INSTANT_KINDS:
+        return spec.params.get("pcpu")
+    if spec.kind == "symbol_table":
+        return spec.params.get("domain")
+    return None

@@ -37,6 +37,9 @@ class GuestKernel:
         #: Set by core.usercrit.enable_user_critical when the guest
         #: exposes a per-process user critical-region table (§4.4).
         self.user_critical = None
+        #: Symbol-table fault mode (None | "miss" | "corrupt"), driven
+        #: by the fault injector; read by the hypervisor-side detector.
+        self.symbol_fault = None
         self._locks = {}
         self._rwsems = {}
         self._addr_cache = {}

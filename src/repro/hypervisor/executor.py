@@ -36,6 +36,11 @@ class PCpu:
         self.pending_pool = None
         self.current = None
         self.preempt_requested = False
+        #: Hotplug (fault injection): ``offline_requested`` is the
+        #: desired state, ``offline`` the actual one — the flip happens
+        #: at the loop boundary, like pool changes.
+        self.offline_requested = False
+        self.offline = False
         self.proc = None
         self.slice_end = 0
         self.idle_since = None
@@ -84,6 +89,9 @@ class PCpu:
 
     def _loop(self):
         while True:
+            if self.offline_requested:
+                yield from self._offline_wait()
+                continue
             if self.pending_pool is not None and self.pending_pool is not self.pool:
                 self.hv.complete_pool_change(self)
             self.pending_pool = None
@@ -92,6 +100,16 @@ class PCpu:
                 yield from self._idle()
                 continue
             yield from self._run(vcpu)
+
+    def _offline_wait(self):
+        """Leave the pool and park until brought back online."""
+        self.hv.on_pcpu_offline(self)
+        while self.offline_requested:
+            try:
+                yield self.sim.event(name="offline:pcpu%d" % self.info.index)
+            except Interrupt:
+                pass
+        self.hv.on_pcpu_online(self)
 
     def _idle(self):
         scheduler = self.pool.scheduler

@@ -9,7 +9,7 @@ schemes install :class:`repro.core.microslice.MicroSliceEngine`.
 
 import random
 
-from ..errors import ConfigError, SchedulerError
+from ..errors import ConfigError, FaultError, SchedulerError
 from ..hw.costs import CostModel
 from ..hw.ple import PleConfig
 from ..hw.topology import Topology
@@ -62,6 +62,10 @@ class Hypervisor:
         self.ple = ple if ple is not None else PleConfig()
         self.pv_spin_rounds = pv_spin_rounds
         self.tracer = tracer
+        #: Fault injector (repro.faults) or None. Every degradation
+        #: hook does one ``is None`` check, so fault-free runs execute
+        #: the exact instruction stream they always did.
+        self.faults = None
         self.stats = HvStats(tracer=tracer)
         self.histograms = HistogramSet()
         #: Host-wide IPI-op id allocator: per-instance (not
@@ -298,12 +302,50 @@ class Hypervisor:
             tracer.emit(
                 "ipi_send", op=op.id, ipi_kind=op.kind, src=src.name, dst=dst.name
             )
+        if self.faults is not None:
+            self.faults.note_ipi_send(op)
+            self._send_vipi(src, dst, op, work, name, attempt=0)
+            return
 
         def _deliver(_arg):
             self.policy.on_vipi(src, dst, op)
             dst.post_kernel_work(work, name=name or op.kind)
 
         self.sim.schedule(self.costs.ipi_deliver, _deliver)
+
+    def _send_vipi(self, src, dst, op, work, name, attempt):
+        """Fault-aware transmit of one vIPI message. A dropped message
+        is re-sent after the watchdog timeout; once the resend budget is
+        spent the op is force-acked (and accounted dropped) so barrier
+        protocols like TLB shootdown degrade instead of hanging."""
+        faults = self.faults
+        verdict, delay = (
+            ("deliver", 0) if faults is None else faults.ipi_decision(dst, attempt)
+        )
+        if verdict == "drop":
+            self.sim.schedule(delay, self._retry_vipi, (src, dst, op, work, name, attempt + 1))
+            return
+        if verdict == "timeout":
+            faults.warn_degraded(
+                "ipi_drop",
+                "vIPI resend budget exhausted; forcing acknowledgements "
+                "so waiters cannot hang",
+            )
+            faults.trace("fault_recover", "ipi_drop", dst.name, action="forced_ack")
+            op.ack(dst, self.sim.now)
+            return
+
+        def _deliver(_arg):
+            self.policy.on_vipi(src, dst, op)
+            dst.post_kernel_work(work, name=name or op.kind)
+
+        self.sim.schedule(self.costs.ipi_deliver + delay, _deliver)
+
+    def _retry_vipi(self, arg):
+        src, dst, op, work, name, attempt = arg
+        if op.complete:
+            return  # force-acked or otherwise finished while queued
+        self._send_vipi(src, dst, op, work, name, attempt)
 
     def _observe_ipi(self, op):
         """Chain onto the op's completion callback (once per op — a
@@ -318,6 +360,8 @@ class Hypervisor:
         def _complete(completed, _chained=chained):
             if _chained is not None:
                 _chained(completed)
+            if self.faults is not None:
+                self.faults.note_ipi_complete(completed)
             self.histograms.record("ipi_ack_" + completed.kind, completed.latency)
             tracer = self.tracer
             if tracer is not None and tracer.enabled:
@@ -379,6 +423,10 @@ class Hypervisor:
             raise ConfigError("negative micro core count")
         if count >= len(self.pcpus):
             raise ConfigError("cannot micro-slice every pCPU")
+        if self.faults is not None and self.faults.poolmove_refused():
+            raise FaultError(
+                "cpupool resize to %d micro cores refused (fault injection)" % count
+            )
         current = self.micro_core_count()
         if count > current:
             reserved = self.reserved_pcpu_indices()
@@ -387,6 +435,7 @@ class Hypervisor:
                 for p in reversed(self.pcpus)
                 if p.pool is self.normal_pool
                 and p.pending_pool is None
+                and not p.offline_requested
                 and p.info.index not in reserved
             ]
             for pcpu in candidates[: count - current]:
@@ -418,6 +467,69 @@ class Hypervisor:
             stranded.pool = self.normal_pool
             if stranded.state == vc.RUNNABLE:
                 self.normal_pool.scheduler.requeue(stranded)
+
+    # ------------------------------------------------------------------
+    # pCPU hotplug (fault injection: a core leaves / rejoins the host)
+    # ------------------------------------------------------------------
+    def offline_pcpu(self, index):
+        """Request that a pCPU leave its pool. Takes effect at the
+        executor's next loop boundary (like a pool change); the executor
+        then parks in :meth:`~repro.hypervisor.executor.PCpu` offline
+        wait until :meth:`online_pcpu`. Returns False if already
+        offline/offlining."""
+        pcpu = self.pcpus[index]
+        if pcpu.offline_requested:
+            return False
+        pcpu.offline_requested = True
+        pcpu.request_preempt()
+        return True
+
+    def online_pcpu(self, index):
+        """Bring a previously offlined pCPU back (into the normal
+        pool). Returns False if it was not offline."""
+        pcpu = self.pcpus[index]
+        if not pcpu.offline_requested:
+            return False
+        pcpu.offline_requested = False
+        if pcpu.proc is not None:
+            pcpu.proc.interrupt(("online",))
+        return True
+
+    def on_pcpu_offline(self, pcpu):
+        """Executor loop boundary reached with an offline request: pull
+        the pCPU out of its pool (stranding its slot vCPU back into the
+        normal pool, exactly like a pool move)."""
+        pool = pcpu.pool
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                "pool_move",
+                pcpu=pcpu.info.index,
+                from_pool=pool.name,
+                to_pool="offline",
+            )
+        pcpu.pending_pool = None
+        stranded = pool.remove_pcpu(pcpu)
+        pcpu.pool = None
+        pcpu.offline = True
+        if stranded is not None:
+            stranded.pool = self.normal_pool
+            if stranded.state == vc.RUNNABLE:
+                self.normal_pool.scheduler.requeue(stranded)
+
+    def on_pcpu_online(self, pcpu):
+        """Executor waking from offline wait: rejoin the normal pool."""
+        pcpu.offline = False
+        pcpu.pool = self.normal_pool
+        self.normal_pool.add_pcpu(pcpu)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                "pool_move",
+                pcpu=pcpu.info.index,
+                from_pool="offline",
+                to_pool=self.normal_pool.name,
+            )
 
     def accelerate(self, vcpu, wake=False):
         """Migrate a preempted (or, with ``wake``, blocked) vCPU onto a

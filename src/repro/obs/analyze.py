@@ -52,6 +52,7 @@ class TraceAnalysis:
         self.lock_waits = {}      # lock -> Histogram of wait ns
         self.lock_holds = {}      # lock -> Histogram of hold ns
         self.adaptive = []        # adaptive_resize records, in order
+        self.fault_events = []    # fault_inject/fault_recover, in order
         self.seq_gaps = 0
         self._scan()
 
@@ -107,6 +108,8 @@ class TraceAnalysis:
                     ).record(record["t"] - acquired_at)
             elif kind == "adaptive_resize":
                 self.adaptive.append(record)
+            elif kind in ("fault_inject", "fault_recover"):
+                self.fault_events.append(record)
 
     # ------------------------------------------------------------------
     def event_counts(self):
@@ -248,6 +251,25 @@ def format_analysis(analysis):
     if analysis.lock_holds:
         sections.append(
             render_table(span_headers, _span_rows(analysis.lock_holds), title="lock holds")
+        )
+
+    if analysis.fault_events:
+        rows = [
+            [
+                "%.1f" % _ms(record["t"]),
+                "inject" if record["kind"] == "fault_inject" else "recover",
+                record["fault"],
+                record.get("target") if record.get("target") is not None else "-",
+                record.get("action") or "-",
+            ]
+            for record in analysis.fault_events
+        ]
+        sections.append(
+            render_table(
+                ["t_ms", "event", "fault", "target", "action"],
+                rows,
+                title="fault timeline (repro.faults)",
+            )
         )
 
     if analysis.adaptive:

@@ -32,6 +32,9 @@ TRACE_SCHEMA = {
     "lock_release": frozenset({"vcpu", "lock"}),
     # -- adaptive controller (the Algorithm-1 audit log) ---------------
     "adaptive_resize": frozenset({"cores", "prev_cores", "ipi", "ple", "irq"}),
+    # -- fault injection (repro.faults) --------------------------------
+    "fault_inject": frozenset({"fault", "target"}),
+    "fault_recover": frozenset({"fault", "target", "action"}),
     # -- runstate accounting -------------------------------------------
     "runstate": frozenset({"vcpu", "from_state", "to_state"}),
     "runstate_final": frozenset(

@@ -87,6 +87,11 @@ class SimJob:
     #: cache identity — a traced result carries its records in the
     #: payload, so it must not be conflated with an untraced one.
     trace: dict = None
+    #: Optional fault plan in its canonical dict form
+    #: (:meth:`~repro.faults.plan.FaultPlan.to_dict`). Part of the cache
+    #: identity for the same reason as ``trace``: a faulted result must
+    #: never be conflated with a healthy one.
+    faults: dict = None
 
     def spec(self):
         """The canonical, tag-free description — the cache identity."""
@@ -101,6 +106,8 @@ class SimJob:
         }
         if self.trace is not None:
             spec["trace"] = self.trace
+        if self.faults is not None:
+            spec["faults"] = self.faults
         return spec
 
     def canonical(self):
@@ -174,6 +181,9 @@ def build_system(job):
         scenario.trace_kinds = tuple(kinds) if kinds else None
         # Export-bound traces must be lossless: no ring, no drops.
         scenario.trace_capacity = None
+
+    if job.faults is not None:
+        scenario.faults = job.faults
 
     system = scenario.build()
     if mode == "vturbo":

@@ -12,7 +12,7 @@ in-memory ring for hot interactive runs — export-bound runs pass
 import json
 from collections import deque
 
-from ..errors import ConfigError
+from ..errors import ConfigError, TraceError
 from ..obs.schema import META_KINDS, RESERVED_KEYS, TRACE_SCHEMA
 from .time import fmt
 
@@ -130,13 +130,39 @@ def write_jsonl(path, records_by_job):
 
 
 def load_jsonl(path):
-    """Read a JSONL trace file back into a list of record dicts."""
+    """Read a JSONL trace file back into a list of record dicts.
+
+    Raises :class:`~repro.errors.TraceError` — with the offending line
+    number — on unreadable files, malformed JSON (including the partial
+    last line of a truncated export), non-object records, and records
+    missing their ``kind``."""
     records = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as err:
+        raise TraceError("cannot read trace %s: %s" % (path, err)) from None
+    with handle:
+        for lineno, line in enumerate(handle, 1):
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                raise TraceError(
+                    "%s line %d: malformed JSON (truncated or corrupt "
+                    "trace export?): %.80r" % (path, lineno, line)
+                ) from None
+            if not isinstance(record, dict):
+                raise TraceError(
+                    "%s line %d: trace record must be a JSON object, got %s"
+                    % (path, lineno, type(record).__name__)
+                )
+            if "kind" not in record:
+                raise TraceError(
+                    "%s line %d: trace record has no 'kind' field" % (path, lineno)
+                )
+            records.append(record)
     return records
 
 

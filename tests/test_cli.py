@@ -99,6 +99,17 @@ class TestTraceAndAnalyze:
         assert main(["analyze", str(path), "--diff", str(path)]) == 0
         assert "identical event counts" in capsys.readouterr().out
 
+    def test_analyze_truncated_trace_exits_nonzero(self, capsys, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text('{"kind": "meta"}\n{"kind": "yie', encoding="utf-8")
+        assert main(["analyze", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err and "malformed JSON" in err
+
+    def test_analyze_missing_file_exits_nonzero(self, capsys):
+        assert main(["analyze", "/nonexistent/trace.jsonl"]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
 
 class TestSweepAndCompare:
     def test_sweep_prints_table(self, capsys):

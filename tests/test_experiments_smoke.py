@@ -26,6 +26,7 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         assert registry.available() == [
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "resilience",
             "table1", "table2", "table4a", "table4b", "table4c",
         ]
 
@@ -109,3 +110,28 @@ class TestFigures:
     def test_registry_run_formats(self):
         _results, text = registry.run("table4c", scale_override=SCALE)
         assert isinstance(text, str) and text
+
+
+class TestResilience:
+    def test_plan_shape(self):
+        from repro.experiments import resilience
+        from repro.faults import builtin_plans
+
+        jobs = resilience.plan(seed=1, scale_override=0.05)
+        assert [job.tag for job in jobs] == [resilience.HEALTHY] + builtin_plans()
+        assert jobs[0].faults is None
+        for job in jobs[1:]:
+            assert job.faults["name"] == job.tag
+
+    def test_reduced_subset(self):
+        from repro.experiments import resilience
+
+        results = resilience.run(
+            seed=1, scale_override=0.05, fault_plans=("slow-ipi",)
+        )
+        assert set(results) == {resilience.HEALTHY, "slow-ipi"}
+        assert results[resilience.HEALTHY]["vs_healthy"] == 1.0
+        assert results["slow-ipi"]["rate"] >= 0
+        assert results["slow-ipi"]["violations"] == []
+        text = resilience.format_result(results)
+        assert "Resilience" in text and "slow-ipi" in text

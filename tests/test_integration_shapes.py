@@ -5,7 +5,6 @@ These are the invariants a reviewer would check first; the benchmarks
 re-verify them at full scale with printed tables.
 """
 
-import pytest
 
 from repro.core.policy import PolicySpec
 from repro.experiments.common import dynamic_policy

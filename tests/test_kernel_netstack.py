@@ -10,7 +10,7 @@ from repro.guest.spinlock import DENTRY, PAGE_ALLOC, PAGE_RECLAIM
 from repro.hw.nic import Nic, Packet
 from repro.sim.time import ms, us
 
-from helpers import make_domain, make_hv, spawn_task, spin_program
+from helpers import make_domain, make_hv
 
 
 def _setup(vcpus=2, num_pcpus=2):

@@ -1,7 +1,7 @@
 """Tests for the mmap_sem-aware mm composites."""
 
 from repro.guest import mm
-from repro.guest.actions import Compute, Shootdown
+from repro.guest.actions import Compute
 from repro.sim.time import ms, us
 
 from helpers import make_domain, make_hv, spawn_task

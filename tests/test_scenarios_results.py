@@ -6,8 +6,6 @@ from repro.core.policy import PolicySpec
 from repro.experiments.results import RunResult
 from repro.experiments.scenarios import (
     Scenario,
-    VmSpec,
-    WorkloadSpec,
     corun_scenario,
     mixed_io_scenario,
     solo_io_scenario,

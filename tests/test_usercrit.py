@@ -11,7 +11,7 @@ from repro.core.usercrit import (
 )
 from repro.errors import SymbolTableError
 from repro.guest.actions import Acquire, Compute
-from repro.guest.spinlock import FUTEX, LockClass
+from repro.guest.spinlock import LockClass
 from repro.sim.time import ms, us
 
 from helpers import make_domain, make_hv, spawn_task, spin_program

@@ -8,8 +8,6 @@ from repro.workloads import registry
 from repro.workloads.base import Workload
 from repro.workloads.cpu_bound import LookbusyWorkload, SwaptionsWorkload
 from repro.workloads.iperf import IperfWorkload
-from repro.workloads.mosbench import EximWorkload, GmakeWorkload
-from repro.workloads.parsec import DedupWorkload
 
 from helpers import make_domain, make_hv
 
