@@ -16,6 +16,7 @@ from .core.policy import PolicySpec
 from .errors import FaultError, ReproError
 from .experiments import common, corun_scenario, registry, solo_scenario
 from .metrics.report import render_table
+from .sched import registry as sched_registry
 from .sim.time import ms
 from .workloads import registry as workload_registry
 
@@ -46,6 +47,16 @@ def _trace_request(args):
 def _cmd_list(_args):
     print("experiments: " + ", ".join(registry.available()))
     print("workloads:   " + ", ".join(workload_registry.available()))
+    print("schedulers:  " + ", ".join(sched_registry.available()))
+    return 0
+
+
+def _cmd_schedulers(_args):
+    rows = [[name, description] for name, description in sched_registry.describe()]
+    print(render_table(
+        ["backend", "description"], rows,
+        title="scheduler backends (use: --scheduler NAME; default: credit)",
+    ))
     return 0
 
 
@@ -57,6 +68,7 @@ def _cmd_run(args):
         trace=_trace_request(args),
         trace_out=args.trace_out,
         faults=getattr(args, "faults", None),
+        scheduler=getattr(args, "scheduler", None),
         seed=args.seed,
         scale_override=args.scale,
     )
@@ -162,6 +174,10 @@ def _cmd_compare(args):
 
 def _cmd_scenario(args, builder):
     scenario = builder(args.workload, policy=_parse_policy(args.policy), seed=args.seed)
+    scheduler = getattr(args, "scheduler", None)
+    if scheduler is not None:
+        sched_registry.get(scheduler)  # unknown name -> ConfigError, exit 2
+        scenario.scheduler = scheduler
     trace = _trace_request(args)
     if trace is not None:
         scenario.trace = True
@@ -238,6 +254,13 @@ def _add_faults_arg(parser):
         "or a path to a plan JSON file")
 
 
+def _add_scheduler_arg(parser):
+    parser.add_argument(
+        "--scheduler", default=None, metavar="NAME",
+        help="normal-pool scheduler backend (see 'repro schedulers'; "
+        "default: credit)")
+
+
 def _add_trace_args(parser):
     parser.add_argument(
         "--trace", nargs="?", const="", default=None, metavar="KINDS",
@@ -271,6 +294,7 @@ def build_parser():
                        "(default: REPRO_RUNNER_WORKERS or 1)")
     run_p.add_argument("--no-cache", action="store_true",
                        help="ignore and do not write the on-disk result cache")
+    _add_scheduler_arg(run_p)
     _add_trace_args(run_p)
     _add_faults_arg(run_p)
 
@@ -284,8 +308,13 @@ def build_parser():
                        help="baseline | static:N | dynamic")
         p.add_argument("--seed", type=int, default=42)
         p.add_argument("--duration-ms", type=int, default=250)
+        _add_scheduler_arg(p)
         _add_trace_args(p)
         _add_faults_arg(p)
+
+    sub.add_parser(
+        "schedulers", help="list scheduler backends (for --scheduler)"
+    )
 
     faults_p = sub.add_parser("faults", help="list built-in fault plans")
     faults_p.add_argument("--kinds", action="store_true",
@@ -333,6 +362,8 @@ def main(argv=None):
             return _cmd_analyze(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "schedulers":
+            return _cmd_schedulers(args)
         if args.command == "solo":
             return _cmd_scenario(args, lambda wl, policy, seed: solo_scenario(wl, policy=policy, seed=seed))
     except ReproError as err:

@@ -15,7 +15,8 @@ comparator helps the symptom it was designed for and misses the others.
   into one class — the case the paper's precise, service-granular
   selection wins.
 * Fixed micro-slicing on all cores (Ahn et al. [MICRO'14]) needs no
-  policy object: build a scenario with ``normal_slice=us(100)``.
+  policy object: build a scenario with ``scheduler="shortslice"``
+  (the repro.sched backend with a 100 µs slice on every core).
 """
 
 from ..sim.time import ms

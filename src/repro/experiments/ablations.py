@@ -19,7 +19,7 @@ from ..core.microslice import MicroSliceEngine
 from ..core.policy import PolicySpec
 from ..hw.ple import PleConfig
 from ..metrics.report import render_table
-from ..sim.time import ms, us
+from ..sim.time import us
 from . import common
 from .scenarios import corun_scenario, mixed_io_scenario
 
@@ -37,7 +37,7 @@ def run_fixed_microslice(seed=42, scale_override=None, kind="gmake"):
     results["micro_pool"] = {"target": res.rate(kind), "corunner": res.rate("swaptions")}
 
     fixed = corun_scenario(kind, seed=seed)
-    fixed.normal_slice = us(100)
+    fixed.scheduler = "shortslice"
     res = fixed.build().run(duration, warmup_ns=_w)
     results["fixed_100us_all_cores"] = {
         "target": res.rate(kind),

@@ -3,7 +3,9 @@ harness)."""
 
 from ..errors import ConfigError, FaultError
 from .. import runner
+from ..sched import registry as sched_registry
 from . import (
+    baselines,
     fig4,
     fig5,
     fig6,
@@ -19,6 +21,7 @@ from . import (
 )
 
 _EXPERIMENTS = {
+    "baselines": baselines,
     "table1": table1,
     "table2": table2,
     "table4a": table4a,
@@ -47,7 +50,16 @@ def get(name):
     return module
 
 
-def run(name, workers=None, cache=None, trace=None, trace_out=None, faults=None, **kwargs):
+def run(
+    name,
+    workers=None,
+    cache=None,
+    trace=None,
+    trace_out=None,
+    faults=None,
+    scheduler=None,
+    **kwargs
+):
     """Run one experiment; returns ``(results, formatted_text)``.
 
     ``workers``/``cache`` pass through to :func:`repro.runner.execute`
@@ -68,9 +80,20 @@ def run(name, workers=None, cache=None, trace=None, trace_out=None, faults=None,
     own warmup+duration horizon. After a faulted run, any invariant
     violation raises :class:`~repro.errors.FaultError` carrying the full
     per-job report.
+
+    ``scheduler`` (a repro.sched backend name) re-runs the experiment's
+    whole plan under that normal-pool backend — jobs that already pin a
+    backend (e.g. table1's ``fixed_uslice``, the ``baselines`` matrix)
+    keep their own. The name is validated up front so an unknown backend
+    fails before any simulation runs.
     """
     module = get(name)
     jobs = module.plan(**kwargs)
+    if scheduler is not None:
+        sched_registry.get(scheduler)  # raises ConfigError on unknown name
+        for job in jobs:
+            if scheduler != "credit" and "scheduler" not in job.overrides:
+                job.overrides["scheduler"] = scheduler
     if trace is not None:
         for job in jobs:
             job.trace = dict(trace)

@@ -69,7 +69,8 @@ class Scenario:
     vms: list = field(default_factory=list)
     policy: PolicySpec = field(default_factory=PolicySpec.baseline)
     seed: int = 42
-    normal_slice: int = None
+    #: Normal-pool scheduler backend name (repro.sched registry).
+    scheduler: str = "credit"
     micro_slice: int = None
     costs: CostModel = None
     ple: PleConfig = None
@@ -100,7 +101,7 @@ class Scenario:
             num_pcpus=self.num_pcpus,
             costs=self.costs,
             ple=self.ple,
-            normal_slice=self.normal_slice,
+            scheduler=self.scheduler,
             micro_slice=self.micro_slice,
             pv_spin_rounds=self.pv_spin_rounds,
             tracer=tracer,

@@ -27,7 +27,6 @@ from ..runner import (
     vtrs_policy,
     vturbo_policy,
 )
-from ..sim.time import us
 from . import common
 
 SCHEMES = ("baseline", "microsliced", "vturbo", "vtrs", "fixed_uslice")
@@ -42,7 +41,9 @@ def _scheme_policy(scheme, micro_cores):
     if scheme == "vtrs":
         return vtrs_policy(pool_cores=micro_cores), {}
     if scheme == "fixed_uslice":
-        return baseline_policy(), {"normal_slice": us(100)}
+        # Short-slice-everywhere is a first-class scheduler backend now
+        # (repro.sched.shortslice); same model, selected by name.
+        return baseline_policy(), {"scheduler": "shortslice"}
     return baseline_policy(), {}
 
 

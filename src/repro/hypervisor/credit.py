@@ -1,424 +1,28 @@
-"""The normal-pool scheduler: a model of Xen's credit1 scheduler.
+"""Backwards-compatibility shim.
 
-Faithful behaviours (the ones the paper's pathologies depend on):
+The schedulers moved to :mod:`repro.sched` (pluggable backends behind a
+name registry — see ``docs/schedulers.md``). This module keeps the old
+import path working::
 
-* 30 ms default time slice;
-* **per-pCPU runqueues**, priority-ordered (BOOST > UNDER > OVER), with
-  work stealing only when a pCPU would otherwise idle — so in an
-  overcommitted host a descheduled vCPU waits out the slice of whatever
-  its local pCPU runs next;
-* credits refilled every accounting period in proportion to domain
-  weight; priority is UNDER while credits remain, OVER when exhausted;
-* **BOOST**: a vCPU that wakes from blocked with credits left enters
-  BOOST priority and may preempt a non-BOOST vCPU — but a vCPU that is
-  *already runnable* (the mixed-workload case) gets no boost;
-* **yield flag** (``csched_vcpu_yield``): a vCPU that yielded (PLE exit
-  or voluntary hypercall) is passed over once in favour of anything else
-  runnable, even lower priority — this is what makes every yield cost
-  up to a full co-runner slice, the heart of the VTD problem;
-* a small random slice perturbation models the desynchronisation that
-  Xen's 100 Hz ticks and wakeup traffic produce (without it the two VMs
-  run in artificial lockstep and no preemption ever lands mid-service).
+    from repro.hypervisor.credit import CreditScheduler, MicroScheduler
 """
 
-from ..errors import SchedulerError
-from ..sim.time import ms
+from ..sched import (  # noqa: F401
+    BOOST,
+    OVER,
+    PRIORITY_NAMES,
+    UNDER,
+    CreditScheduler,
+    MicroScheduler,
+    Scheduler,
+)
 
-#: Priorities, best first.
-BOOST = 0
-UNDER = 1
-OVER = 2
-
-PRIORITY_NAMES = {BOOST: "boost", UNDER: "under", OVER: "over"}
-_PRIORITIES = (BOOST, UNDER, OVER)
-
-
-class CreditScheduler:
-    """Per-pCPU-runqueue credit scheduler for one cpupool."""
-
-    def __init__(
-        self,
-        sim,
-        slice_ns=None,
-        period_ns=None,
-        credit_cap_periods=2,
-        rng=None,
-        slice_jitter=0.10,
-        tick_ns=None,
-        tracer=None,
-    ):
-        self.sim = sim
-        self.tracer = tracer
-        self.slice = ms(30) if slice_ns is None else slice_ns
-        self.period = ms(30) if period_ns is None else period_ns
-        #: credit1 runs its scheduler at every 10 ms tick: queued UNDER/
-        #: BOOST vCPUs preempt an OVER vCPU at tick granularity instead
-        #: of waiting out its whole slice.
-        self.tick = ms(10) if tick_ns is None else tick_ns
-        self.credit_cap = credit_cap_periods * self.period
-        self._rng = rng
-        self.slice_jitter = slice_jitter
-        self._runqs = {}        # pcpu -> {priority: list of vcpus}
-        self._idle = []
-        self.pool = None
-        self.steals = 0
-
-    # ------------------------------------------------------------------
-    # runqueue plumbing
-    # ------------------------------------------------------------------
-    def register_pcpu(self, pcpu):
-        self._runqs.setdefault(pcpu, {p: [] for p in _PRIORITIES})
-
-    def unregister_pcpu(self, pcpu):
-        """Detach a pCPU, respreading its queued vCPUs."""
-        self.remove_idle(pcpu)
-        queues = self._runqs.pop(pcpu, None)
-        if queues:
-            for priority in _PRIORITIES:
-                for vcpu in queues[priority]:
-                    vcpu.runq_pcpu = None
-                    self._place(vcpu, priority)
-        return None
-
-    def _eligible(self, vcpu, pcpu):
-        return vcpu.affinity is None or pcpu.info.index in vcpu.affinity
-
-    def _depth(self, pcpu):
-        queues = self._runqs[pcpu]
-        return sum(len(queues[p]) for p in _PRIORITIES)
-
-    def _place(self, vcpu, priority):
-        """Insert ``vcpu`` into a pCPU runqueue: last-ran pCPU when
-        eligible (cache affinity), else the shallowest eligible queue."""
-        target = None
-        last = vcpu.last_pcpu
-        if last is not None and last in self._runqs and self._eligible(vcpu, last):
-            target = last
-        if target is None:
-            best_depth = None
-            for pcpu in self._runqs:
-                if not self._eligible(vcpu, pcpu):
-                    continue
-                depth = self._depth(pcpu)
-                if best_depth is None or depth < best_depth:
-                    target, best_depth = pcpu, depth
-            if target is None:
-                raise SchedulerError(
-                    "no pCPU in pool %r satisfies affinity of %s"
-                    % (self.pool.name if self.pool else "?", vcpu.name)
-                )
-        self._runqs[target][priority].append(vcpu)
-        vcpu.runq_pcpu = target
-        return target
-
-    # ------------------------------------------------------------------
-    # scheduling entry points
-    # ------------------------------------------------------------------
-    def pick(self, pcpu):
-        """Next vCPU for ``pcpu``: best priority from its own runqueue
-        (yield-flagged vCPUs are passed over once), stealing from other
-        runqueues only when the local one is empty."""
-        vcpu = self._pick_from(pcpu, pcpu)
-        if vcpu is not None:
-            return vcpu
-        # Local queue exhausted: steal rather than idle (work conserving).
-        for other in self._runqs:
-            if other is pcpu:
-                continue
-            vcpu = self._pick_from(other, pcpu)
-            if vcpu is not None:
-                self.steals += 1
-                tracer = self.tracer
-                if tracer is not None and tracer.enabled:
-                    tracer.emit(
-                        "sched_steal",
-                        vcpu=vcpu.name,
-                        from_pcpu=other.info.index,
-                        to_pcpu=pcpu.info.index,
-                    )
-                return vcpu
-        return None
-
-    def _pick_from(self, owner, runner):
-        """Take the best eligible vCPU from ``owner``'s runqueue for
-        ``runner`` to execute.
-
-        Yield-flag semantics follow csched_vcpu_yield: a yielding vCPU
-        is inserted *behind its own priority class* — it defers to
-        same-priority peers once, but still beats lower-priority vCPUs.
-        (A spinner therefore keeps burning its share in spin/yield
-        cycles instead of silently donating it to the other VM.)
-        """
-        queues = self._runqs.get(owner)
-        if queues is None:
-            return None
-        for priority in _PRIORITIES:
-            queue = queues[priority]
-            flagged = None
-            skipped = []
-            for position, vcpu in enumerate(queue):
-                if not self._eligible(vcpu, runner):
-                    continue
-                if vcpu.yield_flag:
-                    skipped.append(vcpu)
-                    if flagged is None:
-                        flagged = vcpu
-                    continue
-                del queue[position]
-                vcpu.runq_pcpu = None
-                # Same-priority vCPUs we passed over were "skipped once".
-                for passed in skipped:
-                    passed.yield_flag = False
-                return vcpu
-            if flagged is not None:
-                queue.remove(flagged)
-                flagged.runq_pcpu = None
-                flagged.yield_flag = False
-                return flagged
-        return None
-
-    def enqueue(self, vcpu, boost=False, yielded=False):
-        """Queue a runnable vCPU and tickle a pCPU for it."""
-        # Xen boosts a waking vCPU whose priority is (still) UNDER; the
-        # priority label is sticky between accounting points, so a vCPU
-        # that slept before burning through its credits keeps its boost
-        # eligibility even if the balance dipped to zero.
-        eligible = vcpu.credits > 0 or vcpu.priority in (BOOST, UNDER)
-        if boost and eligible:
-            priority = BOOST
-        else:
-            priority = UNDER if vcpu.credits > 0 else OVER
-        vcpu.priority = priority
-        vcpu.yield_flag = yielded
-        tracer = self.tracer
-        trace_on = tracer is not None and tracer.enabled
-        # Prefer an idle pCPU outright (it can run us immediately).
-        for position, pcpu in enumerate(self._idle):
-            if self._eligible(vcpu, pcpu):
-                del self._idle[position]
-                self._runqs[pcpu][priority].append(vcpu)
-                vcpu.runq_pcpu = pcpu
-                if trace_on:
-                    if priority == BOOST:
-                        tracer.emit(
-                            "sched_boost", vcpu=vcpu.name, pcpu=pcpu.info.index
-                        )
-                    tracer.emit(
-                        "sched_tickle",
-                        vcpu=vcpu.name,
-                        pcpu=pcpu.info.index,
-                        why="idle",
-                    )
-                pcpu.tickle()
-                return
-        target = self._place(vcpu, priority)
-        if trace_on and priority == BOOST:
-            tracer.emit("sched_boost", vcpu=vcpu.name, pcpu=target.info.index)
-        if priority == BOOST:
-            current = target.current
-            if (
-                current is not None
-                and not target.preempt_requested
-                and current.priority is not None
-                and current.priority > BOOST
-            ):
-                if trace_on:
-                    tracer.emit(
-                        "sched_tickle",
-                        vcpu=vcpu.name,
-                        pcpu=target.info.index,
-                        why="boost_preempt",
-                    )
-                target.request_preempt()
-
-    def requeue(self, vcpu, yielded=False):
-        """Re-queue after a slice end or yield (no boost — boost is
-        consumed by being scheduled once)."""
-        self.enqueue(vcpu, boost=False, yielded=yielded)
-
-    def wake(self, vcpu):
-        """Queue a vCPU waking from blocked: the BOOST path."""
-        self.enqueue(vcpu, boost=True)
-
-    def remove(self, vcpu):
-        """Pull a queued vCPU out (migration to the micro pool).
-
-        Returns ``True`` when the vCPU was found in a runqueue.
-        """
-        owner = vcpu.runq_pcpu
-        candidates = [owner] if owner in self._runqs else list(self._runqs)
-        for pcpu in candidates:
-            queues = self._runqs[pcpu]
-            for priority in _PRIORITIES:
-                try:
-                    queues[priority].remove(vcpu)
-                except ValueError:
-                    continue
-                vcpu.runq_pcpu = None
-                return True
-        return False
-
-    def queued(self):
-        return [
-            vcpu
-            for queues in self._runqs.values()
-            for priority in _PRIORITIES
-            for vcpu in queues[priority]
-        ]
-
-    def queue_depth(self):
-        return sum(self._depth(pcpu) for pcpu in self._runqs)
-
-    def best_waiting_priority(self, pcpu):
-        """Best priority queued on ``pcpu``'s local runqueue; the tick
-        uses it to preempt an OVER vCPU when something better waits."""
-        queues = self._runqs.get(pcpu)
-        if queues is None:
-            return None
-        for priority in _PRIORITIES:
-            for vcpu in queues[priority]:
-                if self._eligible(vcpu, pcpu):
-                    return priority
-        return None
-
-    # ------------------------------------------------------------------
-    # idling
-    # ------------------------------------------------------------------
-    def add_idle(self, pcpu):
-        if pcpu not in self._idle:
-            self._idle.append(pcpu)
-
-    def remove_idle(self, pcpu):
-        try:
-            self._idle.remove(pcpu)
-        except ValueError:
-            pass
-
-    # ------------------------------------------------------------------
-    # credit accounting
-    # ------------------------------------------------------------------
-    def charge(self, vcpu, runtime):
-        vcpu.credits -= runtime
-
-    def account(self, domains, num_pcpus):
-        """Periodic credit refill (one accounting period's worth of pCPU
-        time, split by domain weight, then evenly inside the domain)."""
-        total_weight = sum(d.weight for d in domains) or 1
-        budget = self.period * num_pcpus
-        for domain in domains:
-            share = budget * domain.weight // total_weight
-            if not domain.vcpus:
-                continue
-            per_vcpu = share // len(domain.vcpus)
-            for vcpu in domain.vcpus:
-                vcpu.credits = min(self.credit_cap, vcpu.credits + per_vcpu)
-        self._rebucket_queued()
-
-    def _rebucket_queued(self):
-        """Refresh the priority class of queued vCPUs after an
-        accounting refill (csched_acct updates every vCPU's priority,
-        not just running ones -- otherwise a vCPU queued as OVER starves
-        behind an UNDER co-runner forever)."""
-        for queues in self._runqs.values():
-            for priority in (UNDER, OVER):
-                queue = queues[priority]
-                for vcpu in list(queue):
-                    wanted = UNDER if vcpu.credits > 0 else OVER
-                    if wanted != priority:
-                        queue.remove(vcpu)
-                        queues[wanted].append(vcpu)
-                        vcpu.priority = wanted
-
-    def slice_for(self, vcpu):
-        if self._rng is None or not self.slice_jitter:
-            return self.slice
-        spread = 1.0 + self.slice_jitter * (2.0 * self._rng.random() - 1.0)
-        return int(self.slice * spread)
-
-
-class MicroScheduler:
-    """Micro-pool scheduler: per-pCPU runqueues capped at one vCPU
-    (§5 of the paper), sub-millisecond slice, no boosting, no load
-    balancing."""
-
-    def __init__(self, sim, slice_ns):
-        self.sim = sim
-        self.slice = slice_ns
-        self.pool = None
-        self._slots = {}   # pcpu -> pending vcpu (not running yet)
-        self._idle = []
-
-    def register_pcpu(self, pcpu):
-        self._slots.setdefault(pcpu, None)
-
-    def unregister_pcpu(self, pcpu):
-        """Drop a pCPU from the pool; returns any vCPU stranded in its
-        slot so the caller can send it home."""
-        self.remove_idle(pcpu)
-        return self._slots.pop(pcpu, None)
-
-    def has_free_slot(self):
-        return any(v is None for v in self._slots.values())
-
-    def free_slots(self):
-        return sum(1 for v in self._slots.values() if v is None)
-
-    def assign(self, vcpu):
-        """Place a migrated vCPU into a free slot; returns ``False`` when
-        every runqueue already holds its one allowed vCPU."""
-        target = None
-        for pcpu in self._idle:
-            if self._slots.get(pcpu) is None:
-                target = pcpu
-                break
-        if target is None:
-            for pcpu, pending in self._slots.items():
-                if pending is None and pcpu.current is None:
-                    target = pcpu
-                    break
-        if target is None:
-            for pcpu, pending in self._slots.items():
-                if pending is None:
-                    target = pcpu
-                    break
-        if target is None:
-            return False
-        self._slots[target] = vcpu
-        if target in self._idle:
-            self._idle.remove(target)
-            target.tickle()
-        return True
-
-    def pick(self, pcpu):
-        vcpu = self._slots.get(pcpu)
-        if vcpu is not None:
-            self._slots[pcpu] = None
-        return vcpu
-
-    def enqueue(self, vcpu, boost=False, yielded=False):  # noqa: ARG002
-        raise SchedulerError("vCPUs cannot be enqueued directly on the micro pool")
-
-    def remove(self, vcpu):
-        for pcpu, pending in self._slots.items():
-            if pending is vcpu:
-                self._slots[pcpu] = None
-                return True
-        return False
-
-    def add_idle(self, pcpu):
-        if pcpu not in self._idle:
-            self._idle.append(pcpu)
-
-    def remove_idle(self, pcpu):
-        try:
-            self._idle.remove(pcpu)
-        except ValueError:
-            pass
-
-    def charge(self, vcpu, runtime):
-        # Credits are managed by the parent pool's master (per the
-        # paper's implementation); the micro pool burns none.
-        pass
-
-    def slice_for(self, vcpu):
-        return self.slice
+__all__ = [
+    "BOOST",
+    "UNDER",
+    "OVER",
+    "PRIORITY_NAMES",
+    "Scheduler",
+    "CreditScheduler",
+    "MicroScheduler",
+]

@@ -14,12 +14,13 @@ from ..hw.costs import CostModel
 from ..hw.ple import PleConfig
 from ..hw.topology import Topology
 from ..metrics.histogram import HistogramSet
+from ..sched import MicroScheduler
+from ..sched import registry as sched_registry
 from ..sim.rng import derive_seed
-from ..sim.time import ms, us
+from ..sim.time import us
 from . import executor as ex
 from . import vcpu as vc
 from .cpupool import CpuPool
-from .credit import CreditScheduler, MicroScheduler
 from .domain import Domain
 from .stats import HvStats
 
@@ -51,7 +52,7 @@ class Hypervisor:
         num_pcpus=12,
         costs=None,
         ple=None,
-        normal_slice=None,
+        scheduler="credit",
         micro_slice=None,
         pv_spin_rounds=1,
         tracer=None,
@@ -77,13 +78,14 @@ class Hypervisor:
         self.nic_owner = {}
         self.policy = NullPolicy()
 
+        # The normal pool's backend is pluggable (repro.sched registry);
+        # the RNG stream name stays "hv.credit" so default-backend runs
+        # reproduce historical results bit-for-bit.
+        backend_cls = sched_registry.get(scheduler)
         scheduler_rng = random.Random(derive_seed(seed, "hv.credit"))
-        self.normal_pool = CpuPool(
-            "normal",
-            CreditScheduler(
-                sim, slice_ns=normal_slice or ms(30), rng=scheduler_rng, tracer=tracer
-            ),
-        )
+        backend = backend_cls(sim, rng=scheduler_rng, tracer=tracer)
+        backend.stats = self.stats
+        self.normal_pool = CpuPool("normal", backend)
         self.micro_pool = CpuPool(
             "micro", MicroScheduler(sim, micro_slice or us(100))
         )
@@ -147,21 +149,14 @@ class Hypervisor:
             scheduler.account(self.domains, len(self.normal_pool))
 
     def _tick_loop(self, pcpu, initial_delay):
-        """credit1's per-pCPU 10 ms tick: preempt an OVER vCPU when
-        something better waits on the local runqueue."""
+        """Per-pCPU scheduler tick: the backend decides what (if
+        anything) happens at tick granularity — credit1 preempts an OVER
+        vCPU when something better waits on the local runqueue."""
         scheduler = self.normal_pool.scheduler
         yield self.sim.timeout(initial_delay)
         while True:
             if pcpu.pool is self.normal_pool:
-                current = pcpu.current
-                if current is not None and not pcpu.preempt_requested:
-                    best = scheduler.best_waiting_priority(pcpu)
-                    if (
-                        best is not None
-                        and current.priority is not None
-                        and current.priority > best
-                    ):
-                        pcpu.request_preempt()
+                scheduler.on_tick(pcpu)
             yield self.sim.timeout(scheduler.tick)
 
     # ------------------------------------------------------------------

@@ -21,6 +21,10 @@ TRACE_SCHEMA = {
     "sched_boost": frozenset({"vcpu", "pcpu"}),
     "sched_tickle": frozenset({"vcpu", "pcpu", "why"}),
     "sched_steal": frozenset({"vcpu", "from_pcpu", "to_pcpu"}),
+    # Emitted by alternative repro.sched backends only (the default
+    # credit backend stays silent so traced baseline runs are unchanged).
+    "sched_switch": frozenset({"vcpu", "pcpu", "backend"}),
+    "gang_idle": frozenset({"pcpu", "domain"}),
     "accelerate": frozenset({"vcpu", "wake"}),
     "pool_move": frozenset({"pcpu", "from_pool", "to_pool"}),
     # -- IPI / vIRQ flow -----------------------------------------------

@@ -164,8 +164,8 @@ def build_system(job):
         )
 
     overrides = dict(job.overrides or {})
-    if "normal_slice" in overrides:
-        scenario.normal_slice = overrides.pop("normal_slice")
+    if "scheduler" in overrides:
+        scenario.scheduler = overrides.pop("scheduler")
     if "micro_slice" in overrides:
         scenario.micro_slice = overrides.pop("micro_slice")
     if "ple_window" in overrides:

@@ -1,0 +1,49 @@
+"""repro.sched — pluggable scheduler backends.
+
+The normal cpupool's scheduler is a :class:`~repro.sched.base.Scheduler`
+backend resolved by name through :mod:`repro.sched.registry`. ``credit``
+(Xen credit1) is the default and the paper's baseline; the alternatives
+model the VTD mitigations the paper compares against (see
+``docs/schedulers.md`` and the ``baselines`` experiment):
+
+========== ===========================================================
+name       models
+========== ===========================================================
+credit     Xen credit1 (baseline; BOOST, yield flag, work stealing)
+credit2    Xen credit2-style (global runqueues, no BOOST)
+cosched    co-/gang scheduling (gang runs together, pCPUs gang-idle)
+balance    balance scheduling, EuroSys'11 (sibling-disjoint placement)
+shortslice short-slice-everywhere, MICRO'14 (100 us slice on all cores)
+========== ===========================================================
+
+The micro pool's :class:`~repro.sched.micro.MicroScheduler` is not a
+registry backend: it always drives the micro pool, whatever the normal
+pool runs.
+"""
+
+from .balance import BalanceScheduler
+from .base import BOOST, OVER, PRIORITY_NAMES, UNDER, Scheduler
+from .cosched import CoScheduler
+from .credit import CreditScheduler
+from .credit2 import Credit2Scheduler
+from .micro import MicroScheduler
+from .registry import available, describe, get, register
+from .shortslice import ShortSliceScheduler
+
+__all__ = [
+    "BOOST",
+    "UNDER",
+    "OVER",
+    "PRIORITY_NAMES",
+    "Scheduler",
+    "CreditScheduler",
+    "Credit2Scheduler",
+    "CoScheduler",
+    "BalanceScheduler",
+    "ShortSliceScheduler",
+    "MicroScheduler",
+    "register",
+    "get",
+    "available",
+    "describe",
+]

@@ -1,0 +1,46 @@
+"""Name → class registry for scheduler backends.
+
+Backends self-register with the :func:`register` decorator; anything
+that constructs a hypervisor resolves the configured name through
+:func:`get`. An unknown name raises :class:`~repro.errors.ConfigError`
+(a ``ReproError``, so the CLI reports it and exits 2).
+"""
+
+from ..errors import ConfigError
+
+_BACKENDS = {}
+
+
+def register(cls):
+    """Class decorator: make ``cls`` selectable by its ``name``."""
+    name = cls.name
+    if not name:
+        raise ConfigError("scheduler backend %r has no name" % cls.__name__)
+    if name in _BACKENDS and _BACKENDS[name] is not cls:
+        raise ConfigError(
+            "scheduler backend name %r already registered by %r"
+            % (name, _BACKENDS[name].__name__)
+        )
+    _BACKENDS[name] = cls
+    return cls
+
+
+def get(name):
+    """Resolve a backend class by name."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown scheduler %r (available: %s)"
+            % (name, ", ".join(sorted(_BACKENDS)))
+        ) from None
+
+
+def available():
+    """Registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def describe():
+    """``[(name, description), ...]`` for ``repro schedulers``."""
+    return [(name, _BACKENDS[name].description) for name in sorted(_BACKENDS)]

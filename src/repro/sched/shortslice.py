@@ -1,0 +1,30 @@
+"""Short-slice-everywhere: the MICRO'14 mitigation.
+
+Identical to credit1 except the time slice is globally shortened to the
+micro-slice (100 µs) on *every* core. Spinner symptoms shrink (a
+preempted lock holder is rescheduled within micro-seconds), but every
+workload — including throughput-oriented co-runners that want long
+slices for cache warmth — now pays the context-switch and cache-refill
+tax. The ``baselines`` experiment shows the corunner throughput cost
+the paper's §2.3 argues against; the micro-sliced *pool* design keeps
+short slices only where they help.
+
+This backend subsumes the old ``normal_slice`` override hack that
+``ablations.run_fixed_microslice`` used.
+"""
+
+from ..sim.time import us
+from .credit import CreditScheduler
+from .registry import register
+
+
+@register
+class ShortSliceScheduler(CreditScheduler):
+    """credit1 with a 100 µs slice on every core (MICRO'14 design)."""
+
+    name = "shortslice"
+    description = (
+        "credit1 with a 100 us slice everywhere (MICRO'14 "
+        "short-slice-everywhere; cuts VTD but taxes all co-runners)"
+    )
+    default_slice = us(100)

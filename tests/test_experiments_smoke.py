@@ -25,6 +25,7 @@ SCALE = 0.15
 class TestRegistry:
     def test_all_experiments_registered(self):
         assert registry.available() == [
+            "baselines",
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "resilience",
             "table1", "table2", "table4a", "table4b", "table4c",

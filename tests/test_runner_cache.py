@@ -43,10 +43,20 @@ class TestKeying:
             {"scenario_kwargs": {"workload_kind": "exim"}},
             {"scenario": "corun"},
             {"overrides": {"ple_window": 1000}},
+            {"overrides": {"scheduler": "shortslice"}},
         ],
     )
     def test_any_spec_change_misses(self, change):
         assert cache.job_key(_job()) != cache.job_key(_job(**change))
+
+    def test_backends_never_share_an_entry(self):
+        # A stale cross-backend hit would silently return credit results
+        # for a --scheduler run; every backend name must key differently.
+        keys = {
+            name: cache.job_key(_job(overrides={"scheduler": name}))
+            for name in ("credit", "credit2", "balance", "cosched", "shortslice")
+        }
+        assert len(set(keys.values())) == len(keys)
 
 
 class TestStorage:

@@ -1,0 +1,278 @@
+"""Backend-specific behaviour of the repro.sched registry and the four
+alternative backends (credit2, cosched, balance, shortslice)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched import (
+    BOOST,
+    OVER,
+    UNDER,
+    BalanceScheduler,
+    CoScheduler,
+    Credit2Scheduler,
+    CreditScheduler,
+    ShortSliceScheduler,
+    registry,
+)
+from repro.sim.engine import Simulator
+from repro.sim.time import us
+
+
+class _FakePCpu:
+    def __init__(self, index):
+        self.index = index
+        self.info = type("Info", (), {"index": index})()
+        self.current = None
+        self.preempt_requested = False
+        self.tickled = 0
+
+    def tickle(self):
+        self.tickled += 1
+
+    def request_preempt(self):
+        self.preempt_requested = True
+
+    def __repr__(self):
+        return "pcpu%d" % self.index
+
+
+class _FakeVcpu:
+    def __init__(self, name, domain=None, credits=1000):
+        self.name = name
+        self.domain = domain
+        self.credits = credits
+        self.priority = None
+        self.affinity = None
+        self.yield_flag = False
+        self.last_pcpu = None
+        self.runq_pcpu = None
+
+    def __repr__(self):
+        return self.name
+
+
+class _FakeDomain:
+    def __init__(self, name, weight=256):
+        self.name = name
+        self.weight = weight
+        self.vcpus = []
+
+    def vcpu(self, name, credits=1000):
+        vcpu = _FakeVcpu(name, self, credits=credits)
+        self.vcpus.append(vcpu)
+        return vcpu
+
+
+class _Pool:
+    name = "normal"
+
+    def __init__(self, pcpus):
+        self.pcpus = pcpus
+
+
+def _make(cls, num_pcpus=2, **kwargs):
+    scheduler = cls(Simulator(), slice_jitter=0, **kwargs)
+    pcpus = [_FakePCpu(i) for i in range(num_pcpus)]
+    scheduler.pool = _Pool(pcpus)
+    for pcpu in pcpus:
+        scheduler.register_pcpu(pcpu)
+    return scheduler, pcpus
+
+
+class TestRegistry:
+    def test_known_backends_registered(self):
+        assert registry.available() == [
+            "balance",
+            "cosched",
+            "credit",
+            "credit2",
+            "shortslice",
+        ]
+
+    def test_get_returns_class(self):
+        assert registry.get("credit") is CreditScheduler
+        assert registry.get("credit2") is Credit2Scheduler
+        assert registry.get("cosched") is CoScheduler
+        assert registry.get("balance") is BalanceScheduler
+        assert registry.get("shortslice") is ShortSliceScheduler
+
+    def test_unknown_name_raises_config_error(self):
+        with pytest.raises(ConfigError, match="unknown scheduler"):
+            registry.get("warp9")
+
+    def test_describe_pairs(self):
+        described = dict(registry.describe())
+        assert set(described) == set(registry.available())
+        assert all(described.values())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError, match="already registered"):
+
+            @registry.register
+            class Dupe(CreditScheduler):  # noqa: F811
+                name = "credit"
+
+
+class TestShortSlice:
+    def test_is_credit_with_100us_slice(self):
+        scheduler, _ = _make(ShortSliceScheduler)
+        assert isinstance(scheduler, CreditScheduler)
+        assert scheduler.slice == us(100)
+
+    def test_explicit_slice_still_wins(self):
+        scheduler, _ = _make(ShortSliceScheduler, slice_ns=us(500))
+        assert scheduler.slice == us(500)
+
+
+class TestCredit2:
+    def test_no_boost_priority(self):
+        scheduler, pcpus = _make(Credit2Scheduler)
+        vcpu = _FakeVcpu("v", _FakeDomain("d"))
+        scheduler.enqueue(vcpu, boost=True)
+        assert vcpu.priority != BOOST
+        assert vcpu.priority == UNDER
+
+    def test_wake_never_preempts_midslice(self):
+        scheduler, pcpus = _make(Credit2Scheduler, num_pcpus=1)
+        hog = _FakeVcpu("hog", _FakeDomain("d2"), credits=-1)
+        hog.priority = OVER
+        pcpus[0].current = hog
+        waker = _FakeVcpu("waker", _FakeDomain("d1"), credits=1000)
+        waker.last_pcpu = pcpus[0]
+        scheduler.enqueue(waker, boost=True)
+        assert not pcpus[0].preempt_requested
+
+    def test_pick_highest_credit_first(self):
+        scheduler, pcpus = _make(Credit2Scheduler, num_pcpus=1)
+        domain = _FakeDomain("d")
+        mid = domain.vcpu("mid", credits=500)
+        rich = domain.vcpu("rich", credits=900)
+        poor = domain.vcpu("poor", credits=100)
+        for vcpu in (mid, rich, poor):
+            vcpu.last_pcpu = pcpus[0]
+            scheduler.enqueue(vcpu)
+        assert scheduler.pick(pcpus[0]) is rich
+        assert scheduler.pick(pcpus[0]) is mid
+        assert scheduler.pick(pcpus[0]) is poor
+
+    def test_weighted_burn(self):
+        scheduler, _ = _make(Credit2Scheduler)
+        heavy = _FakeDomain("heavy", weight=512)
+        light = _FakeDomain("light", weight=256)
+        hv = heavy.vcpu("h", credits=10_000)
+        lv = light.vcpu("l", credits=10_000)
+        scheduler.charge(hv, 1000)
+        scheduler.charge(lv, 1000)
+        assert hv.credits == 10_000 - 500   # 1000 * 256 / 512
+        assert lv.credits == 10_000 - 1000  # 1000 * 256 / 256
+
+    def test_equal_refill_across_weights(self):
+        scheduler, pcpus = _make(Credit2Scheduler)
+        heavy = _FakeDomain("heavy", weight=512)
+        light = _FakeDomain("light", weight=256)
+        heavy.vcpu("h", credits=0)
+        light.vcpu("l", credits=0)
+        scheduler.account([heavy, light], num_pcpus=len(pcpus))
+        assert heavy.vcpus[0].credits == light.vcpus[0].credits
+
+    def test_dual_queue_steal(self):
+        scheduler, pcpus = _make(Credit2Scheduler, num_pcpus=2)
+        vcpu = _FakeVcpu("v", _FakeDomain("d"))
+        vcpu.last_pcpu = pcpus[0]   # queue 0
+        scheduler.enqueue(vcpu)
+        assert scheduler.pick(pcpus[1]) is vcpu   # odd pCPU steals
+        assert scheduler.steals == 1
+
+
+class TestCoSched:
+    def test_only_gang_domain_picked(self):
+        scheduler, pcpus = _make(CoScheduler)
+        first, second = _FakeDomain("dom0"), _FakeDomain("dom1")
+        a = first.vcpu("a")
+        b = second.vcpu("b")
+        scheduler.enqueue(a)
+        scheduler.enqueue(b)
+        assert scheduler.pick(pcpus[0]) is a
+        pcpus[0].current = a
+        assert scheduler.pick(pcpus[1]) is None
+        assert scheduler.gang_idles == 1
+
+    def test_rotation_after_window(self):
+        scheduler, pcpus = _make(CoScheduler)
+        first, second = _FakeDomain("dom0"), _FakeDomain("dom1")
+        a = first.vcpu("a")
+        b = second.vcpu("b")
+        scheduler.enqueue(a)
+        scheduler.enqueue(b)
+        assert scheduler.pick(pcpus[0]) is a
+        pcpus[0].current = a
+        scheduler._gang_until = 0   # close the window
+        assert scheduler.pick(pcpus[1]) is b
+        # The straggler from the previous gang is preempted on rotation.
+        assert pcpus[0].preempt_requested
+
+    def test_gang_members_descheduled_with_window(self):
+        scheduler, pcpus = _make(CoScheduler)
+        domain = _FakeDomain("dom0")
+        vcpu = domain.vcpu("a")
+        scheduler.enqueue(vcpu)
+        assert scheduler.pick(pcpus[0]) is vcpu
+        remaining = scheduler.slice_for(vcpu)
+        assert 0 < remaining <= scheduler.slice
+
+    def test_empty_pool_picks_none(self):
+        scheduler, pcpus = _make(CoScheduler)
+        assert scheduler.pick(pcpus[0]) is None
+        assert scheduler.gang_idles == 0
+
+
+class TestBalance:
+    def test_diverts_when_sibling_queued_at_home(self):
+        scheduler, pcpus = _make(BalanceScheduler)
+        domain = _FakeDomain("dom0")
+        sibling = domain.vcpu("s")
+        sibling.last_pcpu = pcpus[0]
+        scheduler.enqueue(sibling)
+        mover = domain.vcpu("m")
+        mover.last_pcpu = pcpus[0]
+        scheduler.enqueue(mover)
+        assert mover.runq_pcpu is pcpus[1]
+
+    def test_tolerates_running_sibling_at_home(self):
+        # Migration resistance: a *running* sibling will vacate within a
+        # slice; affinity wins.
+        scheduler, pcpus = _make(BalanceScheduler)
+        domain = _FakeDomain("dom0")
+        runner = domain.vcpu("r")
+        pcpus[0].current = runner
+        stayer = domain.vcpu("s")
+        stayer.last_pcpu = pcpus[0]
+        scheduler.enqueue(stayer)
+        assert stayer.runq_pcpu is pcpus[0]
+
+    def test_falls_back_to_credit_when_no_free_pcpu(self):
+        scheduler, pcpus = _make(BalanceScheduler)
+        domain = _FakeDomain("dom0")
+        for index, pcpu in enumerate(pcpus):
+            planted = domain.vcpu("q%d" % index)
+            planted.last_pcpu = pcpu
+            scheduler.enqueue(planted)
+        mover = domain.vcpu("m")
+        mover.last_pcpu = pcpus[0]
+        scheduler.enqueue(mover)
+        # Every pCPU has a queued sibling: plain credit placement
+        # (work conservation beats balance).
+        assert mover.runq_pcpu is not None
+
+    def test_steal_stays_plain_credit(self):
+        # Balance changes placement only; stealing is credit1's (a
+        # stealing pCPU has no current and an empty queue, so a
+        # sibling-aware destination check could never fire anyway).
+        scheduler, pcpus = _make(BalanceScheduler)
+        domain = _FakeDomain("dom0")
+        vcpu = domain.vcpu("v")
+        vcpu.last_pcpu = pcpus[0]
+        scheduler.enqueue(vcpu)
+        assert scheduler.pick(pcpus[1]) is vcpu
+        assert scheduler.steals == 1
