@@ -2,11 +2,16 @@
 substrate is fast enough for the experiment suite).
 
 Besides the pytest-benchmark terminal report, each test folds its
-headline rate into ``BENCH_engine.json`` at the repo root so engine
-tuning PRs have a machine-readable before/after record.
-"""
+headline rate into ``BENCH_engine.json`` at the repo root.
+
+That file is an append-only *trajectory* (latest entry first): every
+benchmark session prepends one timestamped snapshot instead of
+overwriting, so engine-tuning PRs leave a visible perf history. A
+pre-trajectory flat-dict file is migrated in place as the oldest
+entry. All ``_record`` calls from one process share one snapshot."""
 
 import json
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.experiments.scenarios import corun_scenario
@@ -15,17 +20,46 @@ from repro.sim.time import ms
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
+#: Shared per-process session marker: the first _record call stamps it,
+#: later calls (any benchmark module) update the same snapshot.
+_SESSION = {}
+
+
+def _load_trajectory():
+    """BENCH_engine.json as a list of snapshots, latest first."""
+    if not BENCH_JSON.exists():
+        return []
+    try:
+        data = json.loads(BENCH_JSON.read_text())
+    except ValueError:
+        return []
+    if isinstance(data, dict):
+        # Legacy flat dict: migrate as the oldest (untimestamped) entry.
+        return [
+            {
+                "recorded_at": None,
+                "note": "pre-trajectory flat-dict snapshot (migrated)",
+                "metrics": data,
+            }
+        ]
+    return data if isinstance(data, list) else []
+
 
 def _record(key, value):
-    """Merge one ``{key: value}`` measurement into BENCH_engine.json."""
-    data = {}
-    if BENCH_JSON.exists():
-        try:
-            data = json.loads(BENCH_JSON.read_text())
-        except ValueError:
-            data = {}
-    data[key] = round(value, 1)
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    """Fold one ``{key: value}`` measurement into this benchmark
+    session's snapshot at the head of the trajectory."""
+    entries = _load_trajectory()
+    stamp = _SESSION.get("recorded_at")
+    if stamp is None:
+        stamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        _SESSION["recorded_at"] = stamp
+    if entries and entries[0].get("recorded_at") == stamp:
+        entry = entries[0]
+    else:
+        entry = {"recorded_at": stamp, "metrics": {}}
+        entries.insert(0, entry)
+    entry["metrics"][key] = round(value, 1)
+    BENCH_JSON.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
 
 
 def _mean(benchmark):

@@ -71,10 +71,10 @@ class AdaptiveController:
             self._schedule_resize_retry(count, attempt=1)
         self.decisions.append((self.hv.sim.now, count))
         tracer = getattr(self.hv, "tracer", None)
-        if tracer is not None and tracer.enabled:
+        emit = tracer.want("adaptive_resize") if tracer is not None else None
+        if emit is not None:
             events = events or {}
-            tracer.emit(
-                "adaptive_resize",
+            emit(
                 cores=count,
                 prev_cores=prev,
                 ipi=events.get("ipi", 0),

@@ -44,10 +44,31 @@ class RunResult:
         self.adaptive_decisions = []
         self.runstates = {}      # domain -> {vcpu: runstate snapshot}
         self.histograms = {}     # name -> histogram snapshot
-        self.trace = []          # exported trace records (when tracing)
+        self._trace = []         # exported trace records (when tracing)
+        self._trace_pending = None   # raw record tuples awaiting export
         #: Fault-injection digest + invariant report; None for healthy
         #: runs (and absent from to_dict, keeping them byte-identical).
         self.faults = None
+
+    @property
+    def trace(self):
+        """Exported trace records (flat dicts). Materialized lazily
+        from the raw record tuples snapshotted at collect time, so a
+        traced run only pays the export cost when something actually
+        reads the trace (serialization, analyze) — not inside the
+        simulation wall-clock being measured."""
+        pending = self._trace_pending
+        if pending is not None:
+            from ..sim.trace import export_records
+
+            self._trace_pending = None
+            self._trace = export_records(pending)
+        return self._trace
+
+    @trace.setter
+    def trace(self, value):
+        self._trace_pending = None
+        self._trace = value
 
     @classmethod
     def collect(cls, system, duration_ns):
@@ -99,7 +120,9 @@ class RunResult:
                         offline=snap["offline"],
                         elapsed=snap["elapsed"],
                     )
-            result.trace = tracer.export()
+            # Snapshot the raw tuples (cheap: one list of refs); the
+            # trace property exports them on first access.
+            result._trace_pending = list(tracer.records)
         injector = hv.faults
         if injector is not None:
             from ..faults.invariants import check_system

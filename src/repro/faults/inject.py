@@ -70,12 +70,13 @@ class FaultInjector:
 
     def trace(self, kind, fault, target, action=None):
         tracer = self.hv.tracer if self.hv is not None else None
-        if tracer is None or not tracer.enabled:
+        emit = tracer.want(kind) if tracer is not None else None
+        if emit is None:
             return
         if action is None:
-            tracer.emit(kind, fault=fault, target=target)
+            emit(fault=fault, target=target)
         else:
-            tracer.emit(kind, fault=fault, target=target, action=action)
+            emit(fault=fault, target=target, action=action)
 
     def warn_degraded(self, topic, message):
         """Emit one :class:`DegradedModeWarning` per topic per run."""

@@ -34,7 +34,9 @@ class Compute(Action):
     named symbol, charged at full speed.
     """
 
-    __slots__ = ("total", "remaining", "_symbol")
+    # ``symbol``/``user`` are plain slots, not properties: the executor
+    # reads both once per compute chunk.
+    __slots__ = ("total", "remaining", "symbol", "user")
 
     def __init__(self, duration, symbol=None):
         super().__init__()
@@ -42,15 +44,8 @@ class Compute(Action):
             raise WorkloadError("negative compute duration %r" % (duration,))
         self.total = duration
         self.remaining = duration
-        self._symbol = symbol
-
-    @property
-    def symbol(self):
-        return self._symbol
-
-    @property
-    def user(self):
-        return self._symbol is None
+        self.symbol = symbol
+        self.user = symbol is None
 
     def consume(self, amount):
         self.remaining = max(0, self.remaining - amount)
@@ -58,7 +53,7 @@ class Compute(Action):
             self.done = True
 
     def __repr__(self):
-        return "Compute(%d/%d, %s)" % (self.remaining, self.total, self._symbol or "user")
+        return "Compute(%d/%d, %s)" % (self.remaining, self.total, self.symbol or "user")
 
 
 class Acquire(Action):
@@ -194,17 +189,13 @@ class Emit(Action):
     sending a network ack to the external client model, ...). ``cost``
     nanoseconds of kernel time are charged first."""
 
-    __slots__ = ("fn", "cost", "_symbol")
+    __slots__ = ("fn", "cost", "symbol")
 
     def __init__(self, fn, cost=0, symbol=None):
         super().__init__()
         self.fn = fn
         self.cost = cost
-        self._symbol = symbol
-
-    @property
-    def symbol(self):
-        return self._symbol
+        self.symbol = symbol
 
     def __repr__(self):
         return "Emit(cost=%d)" % self.cost

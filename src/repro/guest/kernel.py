@@ -167,10 +167,6 @@ class GuestKernel:
         if hv is not None:
             hv.histograms.record("spin_wait", wait_ns)
             tracer = hv.tracer
-            if vcpu is not None and tracer is not None and tracer.enabled:
-                tracer.emit(
-                    "lock_acquired",
-                    vcpu=vcpu.name,
-                    lock=lock.name,
-                    wait_ns=wait_ns,
-                )
+            emit = tracer.want("lock_acquired") if tracer is not None else None
+            if vcpu is not None and emit is not None:
+                emit(vcpu=vcpu.name, lock=lock.name, wait_ns=wait_ns)

@@ -49,8 +49,18 @@ class GuestCpu:
         a ``(task, switched)`` pair so the executor can charge the guest
         context-switch cost.
         """
-        switched = False
         current = self.current
+        if (
+            current is not None
+            and not self.runnable
+            and current.state == task_mod.RUNNABLE
+        ):
+            # Fast path (the common case in the executor's action loop):
+            # one runnable task, empty queue — no rotation or preemption
+            # decision to make.
+            self.need_resched = False
+            return current, False
+        switched = False
         if current is not None and current.state != task_mod.RUNNABLE:
             current = None
         rotate = False

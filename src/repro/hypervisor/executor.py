@@ -7,9 +7,24 @@ against shared guest state until the slice expires, the vCPU blocks, or
 it yields. All VTD pathologies emerge here: a descheduled vCPU's
 in-flight action (a held lock's critical section, an unacknowledged
 shootdown) simply stays frozen until the vCPU runs again.
+
+Hot-path notes (this module dominates the engine's per-event cost; see
+``docs/performance.md``):
+
+* Timer waits yield bare ``int`` delays — the engine's handle-level
+  timer wait — instead of allocating a Timeout per chunk. The two
+  spellings are byte-identical by construction.
+* Actions dispatch through a class-keyed table (``_GEN_EXEC`` /
+  ``_PLAIN_EXEC``); :meth:`PCpu._dispatch` remains as the fallback for
+  Action subclasses.
+* The short fixed-cost charges (world switch, lock release, wake) are
+  inlined rather than delegated to a ``_charge`` sub-generator, saving
+  a generator frame per action.
+* The loops read ``sim._now`` directly; the ``now`` property shows up
+  at these call rates.
 """
 
-import math
+from math import ceil as _ceil
 
 from ..errors import SimulationError
 from ..guest import actions as act
@@ -42,6 +57,8 @@ class PCpu:
         self.offline_requested = False
         self.offline = False
         self.proc = None
+        tracer = hv.tracer
+        self._trace_release = tracer.want("lock_release") if tracer is not None else None
         self.slice_end = 0
         self.idle_since = None
         self.busy_ns = 0
@@ -126,10 +143,11 @@ class PCpu:
     def _charge(self, duration):
         """Burn uninterruptible pCPU time (world switches); interrupts
         land but only set flags consumed later."""
-        end = self.sim.now + duration
-        while self.sim.now < end:
+        sim = self.sim
+        end = sim._now + duration
+        while sim._now < end:
             try:
-                yield self.sim.timeout(end - self.sim.now)
+                yield end - sim._now
             except Interrupt:
                 continue
 
@@ -141,35 +159,64 @@ class PCpu:
             # Re-entering the vCPU we just ran (e.g. after a PLE yield
             # with no competitor): a VMEXIT/VMENTER round trip, not a
             # full world switch.
-            yield from self._charge(hv.costs.vmexit)
+            cost = hv.costs.vmexit
         else:
-            yield from self._charge(hv.costs.ctx_switch)
+            cost = hv.costs.ctx_switch
+        end = sim._now + cost
+        while sim._now < end:
+            try:
+                yield end - sim._now
+            except Interrupt:
+                pass
         polluted = self._last_vcpu is not None and self._last_vcpu is not vcpu
         self._last_vcpu = vcpu
         self.current = vcpu
         vcpu.pcpu = self
         vcpu.last_pcpu = self
         hv.mark_running(vcpu)
-        vcpu.cache.on_schedule_in(sim.now, polluted=polluted)
+        vcpu.cache.on_schedule_in(sim._now, polluted=polluted)
         hv.stats.count_schedule(vcpu)
-        started = sim.now
-        self.slice_end = sim.now + self.pool.scheduler.slice_for(vcpu)
+        started = sim._now
+        self.slice_end = slice_end = started + self.pool.scheduler.slice_for(vcpu)
+        guest_ctx_cost = hv.costs.guest_ctx_switch
+        kernel_work = vcpu.kernel_work
+        guest_pick = vcpu.guest_cpu.pick
+        gen_exec = _GEN_EXEC
+        plain_exec = _PLAIN_EXEC
+        cls_compute = act.Compute
+        cls_release = act.Release
+        emit_release = self._trace_release
+        cache_speed = vcpu.cache.speed
         stop = None
         while stop is None:
             if self.preempt_requested or self.pending_pool is not None:
                 stop = (STOP_PREEMPT, None)
                 break
-            if sim.now >= self.slice_end:
+            if sim._now >= slice_end:
                 stop = (STOP_SLICE, None)
                 break
-            ctx, task, switched = vcpu.next_context()
-            if ctx is None:
-                stop = (STOP_IDLE, None)
-                break
-            if switched:
-                vcpu.current_symbol = "schedule"
-                yield from self._charge(hv.costs.guest_ctx_switch)
-            action = ctx.peek()
+            # Inlined vcpu.next_context(): IRQ work preempts tasks.
+            if kernel_work:
+                ctx = kernel_work[0]
+                task = None
+            else:
+                task, switched = guest_pick()
+                if task is None:
+                    stop = (STOP_IDLE, None)
+                    break
+                ctx = task.context
+                if switched:
+                    vcpu.current_symbol = "schedule"
+                    end = sim._now + guest_ctx_cost
+                    while sim._now < end:
+                        try:
+                            yield end - sim._now
+                        except Interrupt:
+                            pass
+            # Inlined ctx.peek() fast path: the in-flight action.
+            action = ctx.current
+            if action is None or action.done:
+                action = ctx.peek()
             if action is None:
                 # Exhausted context: IRQ work completes; a task exits.
                 if task is None:
@@ -177,10 +224,82 @@ class PCpu:
                 else:
                     hv.on_task_exit(vcpu, task)
                 continue
-            stop = yield from self._dispatch(vcpu, task, action)
-        runtime = sim.now - started
+            acls = action.__class__
+            if acls is cls_compute:
+                # Inlined _exec_compute (kept in sync with the method,
+                # which still serves the _dispatch subclass fallback):
+                # Compute dominates the action mix, and at this call
+                # rate the generator frame per dispatch is measurable.
+                remaining = action.remaining
+                while True:
+                    if self.preempt_requested or self.pending_pool is not None:
+                        stop = (STOP_PREEMPT, None)
+                        break
+                    now = sim._now
+                    if now >= slice_end:
+                        stop = (STOP_SLICE, None)
+                        break
+                    if task is not None and kernel_work:
+                        break
+                    if action.user:
+                        speed = cache_speed(now)
+                        want = _ceil(remaining / speed)
+                    else:
+                        speed = 1.0
+                        want = remaining
+                    dt = slice_end - now
+                    if want < dt:
+                        dt = want
+                    vcpu.current_symbol = action.symbol
+                    interrupted = False
+                    try:
+                        yield dt
+                    except Interrupt:
+                        interrupted = True
+                    elapsed = sim._now - now
+                    if not interrupted and dt == want:
+                        progressed = remaining
+                    else:
+                        progressed = min(remaining, int(elapsed * speed))
+                        if progressed == 0 and elapsed > 0:
+                            progressed = min(remaining, 1)
+                    if task is not None:
+                        task.ran_ns += elapsed
+                        task.total_ns += elapsed
+                    if progressed >= remaining:
+                        action.remaining = 0
+                        action.done = True
+                        break
+                    action.remaining = remaining = remaining - progressed
+            elif acls is cls_release:
+                # Inlined _exec_release (same sync caveat as above).
+                lock = action.lock
+                vcpu.current_symbol = action.symbol
+                end = sim._now + 300
+                while sim._now < end:
+                    try:
+                        yield end - sim._now
+                    except Interrupt:
+                        pass
+                if emit_release is not None:
+                    emit_release(vcpu=vcpu.name, lock=lock.name)
+                grantee = lock.release(vcpu)
+                if grantee is not None and lock.user_level:
+                    self._futex_wake(vcpu, lock, grantee)
+                action.done = True
+            else:
+                handler = gen_exec.get(acls)
+                if handler is not None:
+                    stop = yield from handler(self, vcpu, task, action)
+                else:
+                    handler = plain_exec.get(acls)
+                    if handler is not None:
+                        stop = handler(self, vcpu, task, action)
+                    else:
+                        stop = yield from self._dispatch(vcpu, task, action)
+        runtime = sim._now - started
         self.busy_ns += runtime
-        vcpu.cache.on_schedule_out(sim.now)
+        vcpu.cache.on_schedule_out(sim._now)
         vcpu.pcpu = None
         self.current = None
         self.preempt_requested = False
@@ -190,6 +309,8 @@ class PCpu:
     # action dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, vcpu, task, action):
+        """isinstance-chain fallback for Action *subclasses* (the run
+        loop dispatches exact classes through the tables below)."""
         if isinstance(action, act.Compute):
             return (yield from self._exec_compute(vcpu, task, action))
         if isinstance(action, act.Acquire):
@@ -210,52 +331,50 @@ class PCpu:
             return (yield from self._exec_emit(vcpu, task, action))
         raise SimulationError("unknown action %r" % (action,))
 
-    def _should_break(self, vcpu, task):
-        """Common deschedule/IRQ checks inside action loops. Returns a
-        stop tuple, the string ``"irq"`` (service kernel work first), or
-        ``None`` to keep going."""
-        if self.preempt_requested or self.pending_pool is not None:
-            return (STOP_PREEMPT, None)
-        if self.sim.now >= self.slice_end:
-            return (STOP_SLICE, None)
-        if task is not None and vcpu.kernel_work:
-            return "irq"
-        return None
-
     def _exec_compute(self, vcpu, task, action):
         sim = self.sim
+        slice_end = self.slice_end
         while not action.done:
-            verdict = self._should_break(vcpu, task)
-            if verdict == "irq":
+            # Inlined deschedule/IRQ checks (the old _should_break).
+            if self.preempt_requested or self.pending_pool is not None:
+                return (STOP_PREEMPT, None)
+            now = sim._now
+            if now >= slice_end:
+                return (STOP_SLICE, None)
+            if task is not None and vcpu.kernel_work:
                 return None
-            if verdict is not None:
-                return verdict
-            speed = vcpu.cache.speed(sim.now) if action.user else 1.0
-            want = int(math.ceil(action.remaining / speed))
-            dt = min(want, self.slice_end - sim.now)
+            remaining = action.remaining
+            if action.user:
+                speed = vcpu.cache.speed(now)
+                want = _ceil(remaining / speed)
+            else:
+                speed = 1.0
+                want = remaining
+            dt = slice_end - now
+            if want < dt:
+                dt = want
             vcpu.current_symbol = action.symbol
-            start = sim.now
             interrupted = False
             try:
-                yield sim.timeout(dt)
+                yield dt
             except Interrupt:
                 interrupted = True
-            elapsed = sim.now - start
+            elapsed = sim._now - now
             if not interrupted and dt == want:
-                progressed = action.remaining
+                progressed = remaining
             else:
-                progressed = min(action.remaining, int(elapsed * speed))
+                progressed = min(remaining, int(elapsed * speed))
                 if progressed == 0 and elapsed > 0:
-                    progressed = min(action.remaining, 1)
+                    progressed = min(remaining, 1)
             action.consume(progressed)
             if task is not None:
-                task.charge(elapsed)
+                task.ran_ns += elapsed
+                task.total_ns += elapsed
         return None
 
     def _exec_acquire(self, vcpu, task, action):
         sim = self.sim
         lock = action.lock
-        kernel = vcpu.domain.kernel
         if lock.granted_to(vcpu):
             lock.finish_grant(vcpu)
             self._finish_lock_wait(vcpu, lock, action)
@@ -265,32 +384,36 @@ class PCpu:
             return None
         waiter = lock.add_waiter(vcpu)
         if action.wait_started is None:
-            action.wait_started = sim.now
+            action.wait_started = sim._now
         ple_budget = self.hv.ple.spin_budget()
         while True:
             if waiter.granted:
                 lock.finish_grant(vcpu)
                 self._finish_lock_wait(vcpu, lock, action)
                 return None
-            verdict = self._should_break(vcpu, task)
-            if verdict == "irq":
+            if self.preempt_requested or self.pending_pool is not None:
+                waiter.state = sl.WAITING
+                return (STOP_PREEMPT, None)
+            if sim._now >= self.slice_end:
+                waiter.state = sl.WAITING
+                return (STOP_SLICE, None)
+            if task is not None and vcpu.kernel_work:
                 waiter.state = sl.WAITING
                 return None
-            if verdict is not None:
-                waiter.state = sl.WAITING
-                return verdict
-            slice_left = self.slice_end - sim.now
+            slice_left = self.slice_end - sim._now
             budget = slice_left if ple_budget is None else min(ple_budget, slice_left)
             waiter.state = sl.SPINNING
             vcpu.current_symbol = action.symbol
-            start = sim.now
+            start = sim._now
             interrupted = False
             try:
-                yield sim.timeout(budget)
+                yield budget
             except Interrupt:
                 interrupted = True
             if task is not None:
-                task.charge(sim.now - start)
+                elapsed = sim._now - start
+                task.ran_ns += elapsed
+                task.total_ns += elapsed
             if interrupted:
                 continue
             if waiter.granted:
@@ -330,25 +453,33 @@ class PCpu:
         sim = self.sim
         lock = action.lock
         vcpu.current_symbol = action.symbol
-        yield from self._charge(300)
-        tracer = self.hv.tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit("lock_release", vcpu=vcpu.name, lock=lock.name)
+        end = sim._now + 300
+        while sim._now < end:
+            try:
+                yield end - sim._now
+            except Interrupt:
+                pass
+        emit = self._trace_release
+        if emit is not None:
+            emit(vcpu=vcpu.name, lock=lock.name)
         grantee = lock.release(vcpu)
         if grantee is not None and lock.user_level:
-            waiter = lock.waiter(grantee)
-            if waiter is not None and waiter.state == sl.FUTEX:
-                # futex wake: make the sleeping task runnable (cross-vCPU
-                # wakes ride a fire-and-forget reschedule IPI).
-                woken = waiter.task
-                waiter.waitq.discard_sleeper(woken)
-                woken.sleeping_on = None
-                if woken.vcpu is vcpu:
-                    vcpu.guest_cpu.enqueue(woken)
-                else:
-                    vcpu.domain.kernel.send_resched_ipi(vcpu, woken, sim.now)
+            self._futex_wake(vcpu, lock, grantee)
         action.done = True
         return None
+
+    def _futex_wake(self, vcpu, lock, grantee):
+        """futex wake: make the sleeping task runnable (cross-vCPU wakes
+        ride a fire-and-forget reschedule IPI)."""
+        waiter = lock.waiter(grantee)
+        if waiter is not None and waiter.state == sl.FUTEX:
+            woken = waiter.task
+            waiter.waitq.discard_sleeper(woken)
+            woken.sleeping_on = None
+            if woken.vcpu is vcpu:
+                vcpu.guest_cpu.enqueue(woken)
+            else:
+                vcpu.domain.kernel.send_resched_ipi(vcpu, woken, self.sim._now)
 
     def _exec_shootdown(self, vcpu, task, action):
         sim = self.sim
@@ -356,8 +487,8 @@ class PCpu:
         if action.op is None:
             vcpu.current_symbol = "native_flush_tlb_others"
             yield from self._charge(kernel.costs.tlb_flush_local)
-            action.op = kernel.tlb.start(vcpu, sim.now)
-            action.wait_started = sim.now
+            action.op = kernel.tlb.start(vcpu, sim._now)
+            action.wait_started = sim._now
         op = action.op
         stop = yield from self._await_ipi(vcpu, task, action, op)
         return stop
@@ -377,8 +508,8 @@ class PCpu:
                 vcpu.guest_cpu.enqueue(woken)
                 action.done = True
                 return None
-            action.ipi_op = kernel.send_resched_ipi(vcpu, woken, sim.now)
-            action.wait_started = sim.now
+            action.ipi_op = kernel.send_resched_ipi(vcpu, woken, sim._now)
+            action.wait_started = sim._now
             if not action.sync:
                 action.done = True
                 return None
@@ -398,8 +529,8 @@ class PCpu:
                 target = vcpu.domain.vcpus[action.target_index]
             else:
                 target = siblings[vcpu.index % len(siblings)]
-            action.op = kernel.send_call_function(vcpu, target, sim.now)
-            action.wait_started = sim.now
+            action.op = kernel.send_call_function(vcpu, target, sim._now)
+            action.wait_started = sim._now
         return (yield from self._await_ipi(vcpu, task, action, action.op))
 
     def _await_ipi(self, vcpu, task, action, op):
@@ -409,22 +540,25 @@ class PCpu:
         sim = self.sim
         ple_budget = self.hv.ple.spin_budget()
         while not op.complete:
-            verdict = self._should_break(vcpu, task)
-            if verdict == "irq":
+            if self.preempt_requested or self.pending_pool is not None:
+                return (STOP_PREEMPT, None)
+            if sim._now >= self.slice_end:
+                return (STOP_SLICE, None)
+            if task is not None and vcpu.kernel_work:
                 return None
-            if verdict is not None:
-                return verdict
-            slice_left = self.slice_end - sim.now
+            slice_left = self.slice_end - sim._now
             budget = slice_left if ple_budget is None else min(ple_budget, slice_left)
             vcpu.current_symbol = action.symbol
-            start = sim.now
+            start = sim._now
             interrupted = False
             try:
-                yield sim.timeout(budget)
+                yield budget
             except Interrupt:
                 interrupted = True
             if task is not None:
-                task.charge(sim.now - start)
+                elapsed = sim._now - start
+                task.ran_ns += elapsed
+                task.total_ns += elapsed
             if interrupted or op.complete:
                 continue
             if ple_budget is not None and budget == ple_budget:
@@ -454,3 +588,21 @@ class PCpu:
         action.fn(self.sim.now)
         action.done = True
         return None
+
+
+#: Class-keyed dispatch tables for the run loop: generator handlers are
+#: driven with ``yield from``, plain handlers called directly. Exact
+#: class match only — subclasses fall back to :meth:`PCpu._dispatch`.
+_GEN_EXEC = {
+    act.Compute: PCpu._exec_compute,
+    act.Acquire: PCpu._exec_acquire,
+    act.Release: PCpu._exec_release,
+    act.Shootdown: PCpu._exec_shootdown,
+    act.Wake: PCpu._exec_wake,
+    act.SmpCallSingle: PCpu._exec_smp_call,
+    act.Emit: PCpu._exec_emit,
+}
+_PLAIN_EXEC = {
+    act.Sleep: PCpu._exec_sleep,
+    act.GYield: PCpu._exec_gyield,
+}

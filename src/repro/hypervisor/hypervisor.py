@@ -63,6 +63,15 @@ class Hypervisor:
         self.ple = ple if ple is not None else PleConfig()
         self.pv_spin_rounds = pv_spin_rounds
         self.tracer = tracer
+        # Hoisted per-kind emit handles (tracer.want): None when the
+        # tracer would never record the kind, so each emit site costs a
+        # single None check instead of enabled/filter/schema work.
+        _want = tracer.want if tracer is not None else lambda kind: None
+        self._trace_deschedule = _want("deschedule")
+        self._trace_ipi_send = _want("ipi_send")
+        self._trace_ipi_complete = _want("ipi_complete")
+        self._trace_pool_move = _want("pool_move")
+        self._trace_accelerate = _want("accelerate")
         #: Fault injector (repro.faults) or None. Every degradation
         #: hook does one ``is None`` check, so fault-free runs execute
         #: the exact instruction stream they always did.
@@ -145,7 +154,7 @@ class Hypervisor:
     def _accounting_loop(self):
         scheduler = self.normal_pool.scheduler
         while True:
-            yield self.sim.timeout(scheduler.period)
+            yield scheduler.period
             scheduler.account(self.domains, len(self.normal_pool))
 
     def _tick_loop(self, pcpu, initial_delay):
@@ -153,11 +162,11 @@ class Hypervisor:
         anything) happens at tick granularity — credit1 preempts an OVER
         vCPU when something better waits on the local runqueue."""
         scheduler = self.normal_pool.scheduler
-        yield self.sim.timeout(initial_delay)
+        yield initial_delay
         while True:
             if pcpu.pool is self.normal_pool:
                 scheduler.on_tick(pcpu)
-            yield self.sim.timeout(scheduler.tick)
+            yield scheduler.tick
 
     # ------------------------------------------------------------------
     # scheduling callbacks (from executors)
@@ -176,11 +185,9 @@ class Hypervisor:
         if pool is self.micro_pool and not vcpu.micro_resident:
             # One micro slice only; the vCPU always goes home (§5).
             vcpu.pool = self.normal_pool
-        tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit(
-                "deschedule", vcpu=vcpu.name, reason=reason, runtime_ns=runtime
-            )
+        emit = self._trace_deschedule
+        if emit is not None:
+            emit(vcpu=vcpu.name, reason=reason, runtime_ns=runtime)
         if reason == ex.STOP_IDLE:
             vcpu.state = vc.BLOCKED
             vcpu.lazy_tlb = True
@@ -292,11 +299,9 @@ class Hypervisor:
         paper's interception point."""
         self.stats.count_vipi(src, dst, op.kind)
         self._observe_ipi(op)
-        tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit(
-                "ipi_send", op=op.id, ipi_kind=op.kind, src=src.name, dst=dst.name
-            )
+        emit = self._trace_ipi_send
+        if emit is not None:
+            emit(op=op.id, ipi_kind=op.kind, src=src.name, dst=dst.name)
         if self.faults is not None:
             self.faults.note_ipi_send(op)
             self._send_vipi(src, dst, op, work, name, attempt=0)
@@ -358,11 +363,10 @@ class Hypervisor:
             if self.faults is not None:
                 self.faults.note_ipi_complete(completed)
             self.histograms.record("ipi_ack_" + completed.kind, completed.latency)
-            tracer = self.tracer
-            if tracer is not None and tracer.enabled:
+            emit = self._trace_ipi_complete
+            if emit is not None:
                 initiator = completed.initiator
-                tracer.emit(
-                    "ipi_complete",
+                emit(
                     op=completed.id,
                     ipi_kind=completed.kind,
                     initiator=initiator.name if initiator is not None else None,
@@ -447,14 +451,9 @@ class Hypervisor:
     def complete_pool_change(self, pcpu):
         """Called by the executor at its loop boundary."""
         target = pcpu.pending_pool
-        tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit(
-                "pool_move",
-                pcpu=pcpu.info.index,
-                from_pool=pcpu.pool.name,
-                to_pool=target.name,
-            )
+        emit = self._trace_pool_move
+        if emit is not None:
+            emit(pcpu=pcpu.info.index, from_pool=pcpu.pool.name, to_pool=target.name)
         stranded = pcpu.pool.remove_pcpu(pcpu)
         target.add_pcpu(pcpu)
         pcpu.pool = target
@@ -495,14 +494,9 @@ class Hypervisor:
         the pCPU out of its pool (stranding its slot vCPU back into the
         normal pool, exactly like a pool move)."""
         pool = pcpu.pool
-        tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit(
-                "pool_move",
-                pcpu=pcpu.info.index,
-                from_pool=pool.name,
-                to_pool="offline",
-            )
+        emit = self._trace_pool_move
+        if emit is not None:
+            emit(pcpu=pcpu.info.index, from_pool=pool.name, to_pool="offline")
         pcpu.pending_pool = None
         stranded = pool.remove_pcpu(pcpu)
         pcpu.pool = None
@@ -517,10 +511,9 @@ class Hypervisor:
         pcpu.offline = False
         pcpu.pool = self.normal_pool
         self.normal_pool.add_pcpu(pcpu)
-        tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit(
-                "pool_move",
+        emit = self._trace_pool_move
+        if emit is not None:
+            emit(
                 pcpu=pcpu.info.index,
                 from_pool="offline",
                 to_pool=self.normal_pool.name,
@@ -550,9 +543,9 @@ class Hypervisor:
             self.normal_pool.scheduler.requeue(vcpu)
             return False
         self.stats.count_migration(vcpu)
-        tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit("accelerate", vcpu=vcpu.name, wake=wake)
+        emit = self._trace_accelerate
+        if emit is not None:
+            emit(vcpu=vcpu.name, wake=wake)
         return True
 
     # ------------------------------------------------------------------

@@ -28,6 +28,10 @@ class HvStats:
     def __init__(self, tracer=None):
         self.counters = CounterSet()
         self.tracer = tracer
+        # Hoisted per-kind emit handles (tracer.want): None unless this
+        # tracer records the kind.
+        self._trace_yield = tracer.want("yield") if tracer is not None else None
+        self._trace_virq = tracer.want("virq_inject") if tracer is not None else None
 
     # ------------------------------------------------------------------
     def count_yield(self, vcpu, cause):
@@ -38,9 +42,9 @@ class HvStats:
         domain = vcpu.domain
         domain.counters.inc("yield")
         domain.counters.inc("yield_" + cause)
-        tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit("yield", vcpu=vcpu.name, domain=domain.name, cause=cause)
+        emit = self._trace_yield
+        if emit is not None:
+            emit(vcpu=vcpu.name, domain=domain.name, cause=cause)
 
     def count_vipi(self, src, dst, kind):
         self.counters.inc("vipi")
@@ -50,9 +54,9 @@ class HvStats:
     def count_virq(self, vcpu):
         self.counters.inc("virq")
         vcpu.domain.counters.inc("virq")
-        tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit("virq_inject", vcpu=vcpu.name, domain=vcpu.domain.name)
+        emit = self._trace_virq
+        if emit is not None:
+            emit(vcpu=vcpu.name, domain=vcpu.domain.name)
 
     def count_migration(self, vcpu):
         self.counters.inc("migrations")

@@ -29,6 +29,10 @@ class VCpu:
         self.hv = domain.hv
         self.runstate = RunstateAccount(now, RUNNABLE)
         self._state = RUNNABLE
+        # Hoisted runstate emit handle (the hottest trace kind: every
+        # state transition); None unless the tracer records it.
+        tracer = self.hv.tracer
+        self._trace_runstate = tracer.want("runstate") if tracer is not None else None
         self.pool = None
         self.pcpu = None           # executor currently running us
         self.priority = None       # managed by the pool scheduler
@@ -65,13 +69,11 @@ class VCpu:
         exact by construction."""
         if value == self._state:
             return
-        now = self.hv.sim.now
+        now = self.hv.sim._now
         self.runstate.transition(now, value)
-        tracer = self.hv.tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit(
-                "runstate", vcpu=self.name, from_state=self._state, to_state=value
-            )
+        emit = self._trace_runstate
+        if emit is not None:
+            emit(vcpu=self.name, from_state=self._state, to_state=value)
         self._state = value
 
     # ------------------------------------------------------------------

@@ -79,7 +79,7 @@ class TimelineSampler:
             now = self.sim.now
             for name, fn in self._probes.items():
                 self.series[name].append(now, fn())
-            yield self.sim.timeout(self.period)
+            yield int(self.period)
 
     def __getitem__(self, name):
         return self.series[name]

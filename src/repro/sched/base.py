@@ -238,8 +238,10 @@ class Scheduler:
         """Emit a trace record when tracing is on (one attribute check
         when it is not)."""
         tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit(kind, **fields)
+        if tracer is not None:
+            emit = tracer.want(kind)
+            if emit is not None:
+                emit(**fields)
 
     @property
     def trace_on(self):

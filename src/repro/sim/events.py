@@ -5,6 +5,15 @@ yielding it. :class:`Timeout` is an event pre-armed to fire after a
 delay. Both are deliberately minimal: richer synchronisation (locks,
 IPIs, runqueues) is modelled explicitly by the hypervisor/guest layers
 rather than hidden in the engine.
+
+Hot-path notes: both classes use ``__slots__``; the waiter list is
+stored lazily (``None`` → a bare callback → a list) because the
+overwhelmingly common case is exactly one waiter — a process blocked on
+its own timeout — and allocating a list per wait shows up at the
+engine's event rates. Trigger fan-out rides the simulator's zero-delay
+now lane (:meth:`Simulator._schedule_now <repro.sim.engine.Simulator>`)
+so resuming a waiter costs a FIFO append, not a heap sift plus a
+handle allocation.
 """
 
 from ..errors import SimulationError
@@ -30,7 +39,8 @@ class Event:
         self.value = None
         self.name = name
         self._state = PENDING
-        self._callbacks = []
+        #: None (no waiters), a single callback, or a list of them.
+        self._callbacks = None
 
     @property
     def triggered(self):
@@ -42,25 +52,43 @@ class Event:
             raise SimulationError("event %r triggered twice" % (self.name,))
         self._state = TRIGGERED
         self.value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            self.sim.schedule(0, callback, self)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            schedule_now = self.sim._schedule_now
+            if callbacks.__class__ is list:
+                for callback in callbacks:
+                    schedule_now(callback, self)
+            else:
+                schedule_now(callbacks, self)
         return self
 
     def add_callback(self, callback):
         """Register ``callback(event)``; runs immediately (as a scheduled
         zero-delay event) if the event already fired."""
         if self._state == TRIGGERED:
-            self.sim.schedule(0, callback, self)
+            self.sim._schedule_now(callback, self)
+            return
+        callbacks = self._callbacks
+        if callbacks is None:
+            self._callbacks = callback
+        elif callbacks.__class__ is list:
+            callbacks.append(callback)
         else:
-            self._callbacks.append(callback)
+            self._callbacks = [callbacks, callback]
 
     def discard_callback(self, callback):
         """Remove a registered callback if still pending."""
-        try:
-            self._callbacks.remove(callback)
-        except ValueError:
-            pass
+        callbacks = self._callbacks
+        if callbacks is None:
+            return
+        if callbacks.__class__ is list:
+            try:
+                callbacks.remove(callback)
+            except ValueError:
+                pass
+        elif callbacks == callback:
+            self._callbacks = None
 
     def __repr__(self):
         return "<Event %s %s>" % (self.name or hex(id(self)), self._state)
@@ -74,12 +102,18 @@ class Timeout(Event):
     def __init__(self, sim, delay, value=None, name=""):
         if delay < 0:
             raise SimulationError("negative timeout delay %r" % (delay,))
-        super().__init__(sim, name=name or "timeout")
+        # Inlined Event.__init__ — this constructor runs once per
+        # process wait, the hottest allocation site in the engine.
+        self.sim = sim
+        self.value = None
+        self.name = name or "timeout"
+        self._state = PENDING
+        self._callbacks = None
         self.delay = delay
         self._handle = sim.schedule(delay, self._fire, value)
 
     def _fire(self, value):
-        if not self.triggered:
+        if self._state == PENDING:
             self.trigger(value)
 
     def cancel(self):

@@ -1,0 +1,235 @@
+"""Pending-event queue structures for the simulation engine.
+
+The engine's contract is a total order over ``(time, seq, handle)``
+entries: pop must always return the entry with the smallest
+``(time, seq)``. Any structure honouring that contract produces
+*byte-identical* simulations — which is what lets the far-term backend
+be swapped freely and benchmarked honestly
+(``benchmarks/test_queue_structures.py`` compares them on the real
+event mix captured from a traced fig7 run).
+
+Two backends live here:
+
+:class:`HeapQueue`
+    A thin wrapper over ``heapq`` (C-accelerated). O(log n) push/pop
+    with tiny constants; the winner at this repo's typical pending
+    counts (tens of entries per simulated host).
+
+:class:`CalendarQueue`
+    A classic two-level calendar / timer-wheel hybrid: a ring of
+    fixed-width buckets for the near term (unsorted until activated,
+    then sorted once and drained in one batch — same-deadline events
+    cost one sort, not n sifts) plus a far-term overflow heap. O(1)
+    amortised push; pop cost amortises the bucket scan. Pays off once
+    thousands of timers are pending (fleet-scale simulation), loses to
+    the heap below that — see ``docs/performance.md`` for the measured
+    crossover.
+
+:class:`~repro.sim.engine.Simulator` additionally keeps a zero-delay
+"now lane" *in front of* whichever backend is selected; neither backend
+ever sees same-instant trampoline traffic.
+"""
+
+import heapq
+from bisect import insort
+
+
+def _entry_live(entry):
+    """Liveness predicate shared by both backends' ``compact()``.
+
+    Entries are either ``(time, seq, handle)`` — dead once the handle is
+    cancelled — or handle-free process timer waits ``(time, seq,
+    process)``, dead once the process's arm token no longer matches the
+    entry's seq (the process was interrupted out of the wait).
+    """
+    obj = entry[2]
+    try:
+        return not obj.cancelled
+    except AttributeError:
+        return obj._timer_seq == entry[1]
+
+#: Default calendar geometry: 64 µs buckets × 1024 ≈ 65 ms horizon,
+#: sized so one guest scheduling quantum (30 ms) plus slack fits in the
+#: ring and micro-slice traffic (100 µs) lands a couple of buckets out.
+DEFAULT_BUCKET_WIDTH = 64_000
+DEFAULT_NUM_BUCKETS = 1024
+
+
+class HeapQueue:
+    """``heapq`` with the queue-backend protocol (push/peek/pop/...)."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self):
+        self._heap = []
+
+    def push(self, entry):
+        heapq.heappush(self._heap, entry)
+
+    def peek(self):
+        """Smallest pending entry without consuming it (``None`` when
+        empty). May return a cancelled entry — lazy cancellation is the
+        caller's business."""
+        heap = self._heap
+        return heap[0] if heap else None
+
+    def pop(self):
+        return heapq.heappop(self._heap)
+
+    def compact(self):
+        """Drop cancelled entries in place; returns how many went."""
+        heap = self._heap
+        before = len(heap)
+        heap[:] = [entry for entry in heap if _entry_live(entry)]
+        heapq.heapify(heap)
+        return before - len(heap)
+
+    def __len__(self):
+        return len(self._heap)
+
+    def __iter__(self):
+        return iter(self._heap)
+
+
+class CalendarQueue:
+    """Bucketed two-level pending-event structure.
+
+    Entries are ``(time, seq, handle)`` tuples. The near term is a ring
+    of ``nbuckets`` buckets of ``width`` ns each; the *active* bucket
+    (the one the cursor points at) is kept sorted and drained by index,
+    so a same-deadline burst is one Timsort of a nearly-sorted list
+    followed by sequential reads. Insertions into the active bucket
+    (rare: only delays shorter than the bucket width) bisect into the
+    undrained remainder. Everything past the ring horizon waits in an
+    overflow heap and is pulled forward bucket-by-bucket as the cursor
+    reaches it.
+    """
+
+    __slots__ = (
+        "width",
+        "nbuckets",
+        "_buckets",
+        "_cursor",
+        "_active",
+        "_apos",
+        "_overflow",
+        "_len",
+    )
+
+    def __init__(self, width=DEFAULT_BUCKET_WIDTH, nbuckets=DEFAULT_NUM_BUCKETS, start=0):
+        if width <= 0 or nbuckets <= 0:
+            raise ValueError("calendar queue needs positive width/nbuckets")
+        self.width = width
+        self.nbuckets = nbuckets
+        self._buckets = [[] for _ in range(nbuckets)]
+        #: Absolute bucket number the cursor is parked on; the ring
+        #: covers bucket numbers (cursor, cursor + nbuckets].
+        self._cursor = start // width
+        self._active = []
+        self._apos = 0
+        self._overflow = []
+        self._len = 0
+
+    def push(self, entry):
+        self._len += 1
+        bucket = entry[0] // self.width
+        cursor = self._cursor
+        if bucket <= cursor:
+            # Lands in the active (possibly part-drained) bucket: keep
+            # the remainder sorted. entry[0] > now always holds, so the
+            # insertion point is at or after the drain position.
+            insort(self._active, entry, self._apos)
+            return
+        if bucket - cursor <= self.nbuckets:
+            self._buckets[bucket % self.nbuckets].append(entry)
+        else:
+            heapq.heappush(self._overflow, entry)
+
+    def _activate_next(self):
+        """Advance the cursor to the next non-empty bucket and sort it
+        (merging in any overflow entries that now fall inside it).
+        Returns False when nothing is pending anywhere."""
+        if self._len == 0:
+            # Avoid an O(nbuckets) scan proving emptiness.
+            self._active = []
+            self._apos = 0
+            return False
+        buckets = self._buckets
+        nb = self.nbuckets
+        overflow = self._overflow
+        cursor = self._cursor
+        # The first non-empty ring bucket past the cursor is the ring's
+        # earliest candidate; the overflow heap's head is the far one.
+        ring_bucket = None
+        for offset in range(1, nb + 1):
+            if buckets[(cursor + offset) % nb]:
+                ring_bucket = cursor + offset
+                break
+        target = ring_bucket
+        if overflow:
+            far_bucket = overflow[0][0] // self.width
+            if target is None or far_bucket < target:
+                target = far_bucket
+        if target is None:
+            return False
+        self._cursor = cursor = target
+        active = buckets[cursor % nb]
+        buckets[cursor % nb] = []
+        limit = (cursor + 1) * self.width
+        while overflow and overflow[0][0] < limit:
+            active.append(heapq.heappop(overflow))
+        active.sort()
+        self._active = active
+        self._apos = 0
+        return True
+
+    def peek(self):
+        while self._apos >= len(self._active):
+            if not self._activate_next():
+                return None
+        return self._active[self._apos]
+
+    def pop(self):
+        entry = self.peek()
+        if entry is None:
+            raise IndexError("pop from empty CalendarQueue")
+        self._apos += 1
+        self._len -= 1
+        return entry
+
+    def compact(self):
+        """Drop cancelled entries from every level, in place."""
+        removed = 0
+        active = self._active[self._apos :]
+        before = len(active)
+        active = [entry for entry in active if _entry_live(entry)]
+        removed += before - len(active)
+        self._active = active
+        self._apos = 0
+        for index, bucket in enumerate(self._buckets):
+            before = len(bucket)
+            bucket[:] = [entry for entry in bucket if _entry_live(entry)]
+            removed += before - len(bucket)
+        overflow = self._overflow
+        before = len(overflow)
+        overflow[:] = [entry for entry in overflow if _entry_live(entry)]
+        heapq.heapify(overflow)
+        removed += before - len(overflow)
+        self._len -= removed
+        return removed
+
+    def __len__(self):
+        return self._len
+
+    def __iter__(self):
+        yield from self._active[self._apos :]
+        for bucket in self._buckets:
+            yield from bucket
+        yield from self._overflow
+
+
+#: Queue-backend registry (``REPRO_SIM_QUEUE`` selects one by name).
+BACKENDS = {
+    "heap": HeapQueue,
+    "calendar": CalendarQueue,
+}

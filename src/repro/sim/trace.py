@@ -1,15 +1,31 @@
 """Structured event tracing, in the spirit of ``xentrace``.
 
 Tracing is off by default (a disabled tracer costs its caller one
-attribute check). When enabled, every record is typed against the
-schema in :mod:`repro.obs.schema`, carries a monotonically increasing
-sequence number, and is counted per kind; the buffer exports losslessly
-to JSONL (``repro analyze`` consumes that). ``capacity`` bounds the
-in-memory ring for hot interactive runs — export-bound runs pass
-``capacity=None`` so nothing is ever dropped.
+attribute check). When enabled, every record carries a monotonically
+increasing sequence number and is counted per kind; the buffer exports
+losslessly to JSONL (``repro analyze`` consumes that). ``capacity``
+bounds the in-memory ring for hot interactive runs — export-bound runs
+pass ``capacity=None`` so nothing is ever dropped.
+
+Hot-path contract (see ``docs/performance.md``): emit sites hoist a
+per-kind handle with :meth:`Tracer.want` — ``None`` when this tracer
+would never record the kind (disabled, or filtered out), else a bound
+emitter whose call appends directly to the ring with no dispatch,
+filter checks, or schema validation. Tracer configuration (``enabled``
+and the kind filter) is fixed at construction, which is what makes
+hoisting the handle safe. Schema validation against
+:mod:`repro.obs.schema` is a *debug-mode* feature (``debug=True`` or
+``REPRO_TRACE_DEBUG=1``) — the CI trace-smoke jobs run with it on, so
+emit-site drift is still caught without taxing every hot run.
+
+Drop accounting is tracer-lifetime exact: ``dropped + len(records) ==
+seq`` always holds — records pushed out of a bounded ring *and*
+records discarded by :meth:`Tracer.clear` both count as dropped, while
+``seq`` never resets.
 """
 
 import json
+import os
 from collections import deque
 
 from ..errors import ConfigError, TraceError
@@ -18,6 +34,13 @@ from .time import fmt
 
 
 class TraceRecord:
+    """Attribute view of one trace record.
+
+    The ring itself stores bare ``(seq, time, kind, detail)`` tuples —
+    the emit path is too hot for a Python-level ``__init__`` per record
+    — and the accessors (``find``, iteration) materialize these views
+    lazily."""
+
     __slots__ = ("seq", "time", "kind", "detail")
 
     def __init__(self, seq, time, kind, detail):
@@ -36,11 +59,68 @@ class TraceRecord:
         return "[%s] #%d %s %s" % (fmt(self.time), self.seq, self.kind, self.detail)
 
 
-class Tracer:
-    """Bounded (or unbounded) trace buffer with schema validation,
-    per-kind counters, and JSONL export."""
+def export_records(entries):
+    """``(seq, time, kind, detail)`` tuples → flat JSON-native dicts
+    (the :meth:`Tracer.export` format)."""
+    out = []
+    append = out.append
+    for seq, time_ns, kind, detail in entries:
+        record = {"seq": seq, "t": time_ns, "kind": kind}
+        record.update(detail)
+        append(record)
+    return out
 
-    def __init__(self, sim, enabled=False, capacity=100_000, kinds=None):
+
+def _schema_check(kind, detail):
+    expected = TRACE_SCHEMA.get(kind)
+    if expected is not None and set(detail) != expected:
+        raise ConfigError(
+            "trace record %r fields %s do not match schema %s"
+            % (kind, sorted(detail), sorted(expected))
+        )
+
+
+class _Emitter:
+    """Bound fast-path emitter for one trace kind (``Tracer.want``).
+
+    The call body is the whole hot path: ring-overflow accounting, seq
+    and per-kind count bump, append. Schema validation happens only
+    when the owning tracer is in debug mode."""
+
+    __slots__ = ("tracer", "kind", "validate", "sim", "records", "bounded", "count")
+
+    def __init__(self, tracer, kind):
+        self.tracer = tracer
+        self.kind = kind
+        self.validate = tracer.debug
+        self.sim = tracer.sim
+        self.records = tracer.records
+        self.bounded = tracer.records.maxlen is not None
+        #: Per-emitter record count, folded into ``Tracer.counts`` on
+        #: read — a slot bump beats a dict update at emit rates.
+        self.count = 0
+
+    def __call__(self, **detail):
+        kind = self.kind
+        if self.validate:
+            _schema_check(kind, detail)
+        tracer = self.tracer
+        records = self.records
+        if self.bounded and len(records) == records.maxlen:
+            tracer.dropped += 1
+        tracer.seq = seq = tracer.seq + 1
+        self.count += 1
+        records.append((seq, self.sim._now, kind, detail))
+
+    def __repr__(self):
+        return "<trace emitter %r>" % (self.kind,)
+
+
+class Tracer:
+    """Bounded (or unbounded) trace buffer with per-kind counters,
+    JSONL export, and debug-mode schema validation."""
+
+    def __init__(self, sim, enabled=False, capacity=100_000, kinds=None, debug=None):
         self.sim = sim
         self.enabled = enabled
         self.kinds = set(kinds) if kinds else None
@@ -48,20 +128,50 @@ class Tracer:
         self.records = deque(maxlen=capacity)
         self.dropped = 0
         self.seq = 0
-        self.counts = {}
+        self._counts = {}
+        if debug is None:
+            debug = os.environ.get("REPRO_TRACE_DEBUG", "") in ("1", "true", "yes")
+        self.debug = debug
+        self._emitters = {}
+
+    @property
+    def counts(self):
+        """Per-kind record counts, tracer-lifetime since the last
+        :meth:`clear` (records later pushed out of the ring still
+        count). Aggregated lazily: hot emitters keep a local slot
+        counter that is folded in here on read."""
+        merged = dict(self._counts)
+        for kind, emitter in self._emitters.items():
+            if emitter.count:
+                merged[kind] = merged.get(kind, 0) + emitter.count
+        return merged
+
+    def want(self, kind):
+        """Precomputed emit handle for ``kind``: ``None`` if this tracer
+        would never record it (disabled, or excluded by the kind
+        filter), else a bound emitter callable taking the detail kwargs.
+
+        Hot emit sites hoist the handle once (configuration is fixed at
+        construction) and guard with ``if emit is not None`` — so a
+        disabled or filtered kind costs one ``None`` check instead of a
+        method call, filter lookups, and schema validation."""
+        if not self.enabled:
+            return None
+        if self.kinds is not None and kind not in self.kinds:
+            return None
+        emitter = self._emitters.get(kind)
+        if emitter is None:
+            emitter = self._emitters[kind] = _Emitter(self, kind)
+        return emitter
 
     def _append(self, kind, detail):
-        expected = TRACE_SCHEMA.get(kind)
-        if expected is not None and set(detail) != expected:
-            raise ConfigError(
-                "trace record %r fields %s do not match schema %s"
-                % (kind, sorted(detail), sorted(expected))
-            )
+        if self.debug:
+            _schema_check(kind, detail)
         if self.records.maxlen is not None and len(self.records) == self.records.maxlen:
             self.dropped += 1
         self.seq += 1
-        self.counts[kind] = self.counts.get(kind, 0) + 1
-        self.records.append(TraceRecord(self.seq, self.sim.now, kind, detail))
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        self.records.append((self.seq, self.sim.now, kind, detail))
 
     def emit(self, kind, **detail):
         if not self.enabled:
@@ -83,33 +193,40 @@ class Tracer:
 
     def find(self, kind):
         """All buffered records of ``kind``, oldest first."""
-        return [r for r in self.records if r.kind == kind]
+        return [
+            TraceRecord(seq, time_ns, rkind, detail)
+            for seq, time_ns, rkind, detail in self.records
+            if rkind == kind
+        ]
 
     def clear(self):
         """Drop buffered records and per-kind counts (warmup boundary).
         Sequence numbers keep increasing across clears — they are
-        tracer-lifetime monotonic, which makes drops detectable."""
+        tracer-lifetime monotonic — and the discarded records count as
+        dropped, so ``dropped + len(records) == seq`` stays exact."""
+        self.dropped += len(self.records)
         self.records.clear()
-        self.counts = {}
-        self.dropped = 0
+        self._counts = {}
+        for emitter in self._emitters.values():
+            emitter.count = 0
 
     def export(self):
         """Buffered records as a list of flat JSON-native dicts."""
-        return [record.as_dict() for record in self.records]
+        return export_records(self.records)
 
     def write_jsonl(self, path, job=None):
         """Write the buffer to ``path`` as one JSON object per line
         (sorted keys — byte-stable for identical runs). ``job`` labels
         every record for multi-job trace files."""
         with open(path, "w", encoding="utf-8") as handle:
-            for record in self.records:
-                write_record(handle, record.as_dict(), job=job)
+            for record in self.export():
+                write_record(handle, record, job=job)
 
     def __len__(self):
         return len(self.records)
 
     def __iter__(self):
-        return iter(self.records)
+        return (TraceRecord(*entry) for entry in self.records)
 
 
 def write_record(handle, record, job=None):
@@ -173,6 +290,7 @@ __all__ = [
     "TRACE_SCHEMA",
     "TraceRecord",
     "Tracer",
+    "export_records",
     "load_jsonl",
     "write_jsonl",
     "write_record",

@@ -1,0 +1,5 @@
+"""Maintenance tools (manifest generation, migration helpers).
+
+Nothing in here is imported by the simulation hot path; each tool is a
+runnable module (``python -m repro.tools.<name>``).
+"""

@@ -1,0 +1,179 @@
+"""The byte-identity manifest: one SHA-256 per unique RunResult payload.
+
+Every engine/performance PR is gated on this file: the manifest pins
+the payload digest of every unique job spec across every registered
+experiment (at a reduced scale so regeneration is minutes, not hours).
+``--verify`` recomputes each payload with the current engine and fails
+on the first divergence; ``--update`` is only legitimate when a PR
+*intends* to change simulation results (new experiment, model change),
+never for a performance PR.
+
+Usage::
+
+    python -m repro.tools.payload_manifest --verify   # CI hash-identity job
+    python -m repro.tools.payload_manifest --update   # regenerate (model changes only)
+
+The manifest lives at ``tests/data/payload_manifest.json``. Keys are
+the SHA-256 of each job's canonical spec; values carry the payload
+digest plus enough human-readable context to identify a diverging job.
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+#: Scale applied to every plan: clamps durations to the 10 ms floor so
+#: the whole manifest regenerates in a few minutes.
+MANIFEST_SCALE = 0.02
+
+MANIFEST_PATH = (
+    Path(__file__).resolve().parent.parent.parent.parent
+    / "tests"
+    / "data"
+    / "payload_manifest.json"
+)
+
+
+def _sha256(text):
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def canonical_payload(payload):
+    """The byte representation that is hashed: sorted-key compact JSON,
+    exactly what the result cache stores."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def unique_jobs(scale=MANIFEST_SCALE):
+    """``{spec_sha: (job, [plan tags])}`` across every registered
+    experiment, deduplicated on the cache identity (several experiments
+    share e.g. the seed-42 gmake co-run baseline)."""
+    from ..experiments import registry
+
+    jobs = {}
+    for name in registry.available():
+        module = registry.get(name)
+        plan = module.plan(scale_override=scale)
+        for job in plan:
+            key = _sha256(job.canonical())
+            if key in jobs:
+                jobs[key][1].append("%s:%s" % (name, job.tag))
+            else:
+                jobs[key] = (job, ["%s:%s" % (name, job.tag)])
+    return jobs
+
+
+def compute_entry(job, tags):
+    from ..runner.jobs import run_job
+
+    payload = run_job(job)
+    return {
+        "payload_sha256": _sha256(canonical_payload(payload)),
+        "scenario": job.scenario,
+        "seed": job.seed,
+        "duration_ns": job.duration_ns,
+        "tags": sorted(tags),
+    }
+
+
+def generate(scale=MANIFEST_SCALE, progress=None):
+    jobs = unique_jobs(scale)
+    entries = {}
+    for index, (key, (job, tags)) in enumerate(sorted(jobs.items())):
+        entries[key] = compute_entry(job, tags)
+        if progress is not None:
+            progress(index + 1, len(jobs), tags[0])
+    return {"scale": scale, "count": len(entries), "entries": entries}
+
+
+def load():
+    with open(MANIFEST_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def verify(manifest=None, keys=None, progress=None):
+    """Recompute payloads and compare against the manifest. Returns a
+    list of mismatch descriptions (empty = all byte-identical).
+    ``keys`` restricts the check to a subset of spec hashes."""
+    if manifest is None:
+        manifest = load()
+    jobs = unique_jobs(manifest["scale"])
+    mismatches = []
+    expected = manifest["entries"]
+    missing = sorted(set(expected) - set(jobs))
+    for key in missing:
+        mismatches.append(
+            "job %s (%s) is in the manifest but no experiment plans it anymore"
+            % (key[:12], ", ".join(expected[key]["tags"]))
+        )
+    new = sorted(set(jobs) - set(expected))
+    for key in new:
+        mismatches.append(
+            "job %s (%s) is planned but missing from the manifest (run --update "
+            "if this PR intentionally adds jobs)" % (key[:12], ", ".join(jobs[key][1]))
+        )
+    check = sorted(set(expected) & set(jobs))
+    if keys is not None:
+        check = [key for key in check if key in keys]
+    for index, key in enumerate(check):
+        job, tags = jobs[key]
+        entry = compute_entry(job, tags)
+        if entry["payload_sha256"] != expected[key]["payload_sha256"]:
+            mismatches.append(
+                "payload diverged for %s (%s): manifest %s, recomputed %s"
+                % (
+                    key[:12],
+                    ", ".join(sorted(tags)),
+                    expected[key]["payload_sha256"][:12],
+                    entry["payload_sha256"][:12],
+                )
+            )
+        if progress is not None:
+            progress(index + 1, len(check), tags[0])
+    return mismatches
+
+
+def _print_progress(done, total, tag):
+    sys.stderr.write("\r[%3d/%3d] %-60s" % (done, total, tag[:60]))
+    if done == total:
+        sys.stderr.write("\n")
+    sys.stderr.flush()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--update", action="store_true", help="regenerate the manifest in place"
+    )
+    action.add_argument(
+        "--verify", action="store_true", help="recompute and compare every payload"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the progress line"
+    )
+    args = parser.parse_args(argv)
+    progress = None if args.quiet else _print_progress
+    if args.update:
+        manifest = generate(progress=progress)
+        MANIFEST_PATH.parent.mkdir(parents=True, exist_ok=True)
+        with open(MANIFEST_PATH, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %d payload digests to %s" % (manifest["count"], MANIFEST_PATH))
+        return 0
+    mismatches = verify(progress=progress)
+    if mismatches:
+        for line in mismatches:
+            print("MISMATCH: %s" % line)
+        print("%d payload(s) diverged" % len(mismatches))
+        return 1
+    manifest = load()
+    print("all %d payloads byte-identical to the manifest" % manifest["count"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,7 +102,7 @@ class IperfWorkload(Workload):
             if self._inflight + self.unit_bytes <= self.window_bytes:
                 self._inflight += self.unit_bytes
                 self._send_packet(sim)
-                yield sim.timeout(self._line_gap())
+                yield self._line_gap()
             else:
                 self._blocked = sim.event(name="iperf.window")
                 yield self._blocked
@@ -118,7 +118,7 @@ class IperfWorkload(Workload):
             if self.duration_ns is not None and sim.now >= self.duration_ns:
                 return
             self._send_packet(sim)
-            yield sim.timeout(gap)
+            yield gap
 
     def _on_ack(self, nbytes):
         self._inflight = max(0, self._inflight - nbytes)

@@ -1,7 +1,10 @@
 """Additional executor corner cases."""
 
+import pytest
+
 from repro.guest.actions import Compute, Emit, Sleep, SmpCallSingle, Wake
 from repro.guest.waitqueue import WaitQueue
+from repro.sim.engine import Interrupt, Simulator
 from repro.sim.time import ms, us
 
 from helpers import make_domain, make_hv, spawn_task, spin_program
@@ -148,3 +151,88 @@ class TestComputePartialProgress:
         # being sliced into many slices.
         assert "at" in finished
         assert ms(80) <= finished["at"] <= ms(200)
+
+
+class TestPeekCompactInteraction:
+    """``Simulator.peek()`` releases cancelled heads as a side effect,
+    and ``_compact()`` can fire mid-run from inside a callback. Both
+    must keep ``_garbage`` exact and never lose a live event."""
+
+    @pytest.mark.parametrize("backend", ["heap", "calendar"])
+    def test_peek_releases_cancelled_far_heads_exactly(self, backend):
+        sim = Simulator(far_queue=backend)
+        victims = [sim.schedule(10 + i, lambda _a: None) for i in range(3)]
+        sim.schedule(50, lambda _a: None)
+        for handle in victims:
+            handle.cancel()
+        assert sim._garbage == 3
+        # peek() walks past the three cancelled heads, releasing each.
+        assert sim.peek() == 50
+        assert sim._garbage == 0
+        assert sim.pending() == 1
+        # Idempotent: a second peek finds a clean head.
+        assert sim.peek() == 50
+        assert sim._garbage == 0
+
+    def test_peek_releases_cancelled_lane_heads_exactly(self):
+        sim = Simulator()
+        head = sim.schedule(0, lambda _a: None)
+        sim.schedule(0, lambda _a: None)
+        head.cancel()
+        assert sim._garbage == 1
+        assert sim.peek() == 0  # the surviving zero-delay entry
+        assert sim._garbage == 0
+        assert sim.pending() == 1
+
+    @pytest.mark.parametrize("backend", ["heap", "calendar"])
+    def test_peek_skips_stale_timer_waits_without_garbage(self, backend):
+        # Handle-free timer waits (a process yielding a bare int) are
+        # invalidated by revoking the arm token, never via cancel(), so
+        # they must not contribute to _garbage -- and peek() must not
+        # decrement it when it releases one.
+        sim = Simulator(far_queue=backend)
+
+        def sleeper():
+            try:
+                yield 10
+            except Interrupt:
+                pass
+
+        proc = sim.process(sleeper())
+        sim.schedule(50, lambda _a: None)
+        sim.run(until=0)  # start the process; timer armed at t=10
+        proc.interrupt()
+        assert sim._garbage == 0
+        sim.run(until=0)  # drain the interrupt resume at t=0
+        # peek() walks past the stale t=10 entry without touching the
+        # garbage counter (it was never counted).
+        assert sim.peek() == 50
+        assert sim._garbage == 0
+
+    @pytest.mark.parametrize("backend", ["heap", "calendar"])
+    def test_midrun_compaction_keeps_later_same_time_events(self, backend):
+        # A callback cancels enough handles to trigger _compact() while
+        # the run loop is mid-drain at this instant. Later same-time
+        # events -- a far sibling already popped into the lane and two
+        # zero-delay follow-ups scheduled by the callback itself -- must
+        # all still fire, in order.
+        sim = Simulator(far_queue=backend)
+        fired = []
+        victims = [sim.schedule(100 + i, lambda _a: None) for i in range(20)]
+        doomed = {}
+
+        def boom(_arg):
+            sim.schedule(0, fired.append, "follow-up-1")
+            doomed["handle"] = sim.schedule(0, fired.append, "doomed")
+            sim._schedule_now(fired.append, "follow-up-2")
+            doomed["handle"].cancel()
+            for handle in victims:
+                handle.cancel()  # 21 cancellations -> compaction fires
+            fired.append("boom")
+
+        sim.schedule(5, boom)
+        sim.schedule(5, fired.append, "sibling")
+        sim.run()
+        assert fired == ["boom", "sibling", "follow-up-1", "follow-up-2"]
+        assert sim._garbage == 0
+        assert sim.pending() == 0

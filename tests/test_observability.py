@@ -169,10 +169,47 @@ class TestRunstateAccount:
 # trace schema + export machinery
 # ----------------------------------------------------------------------
 class TestTracerSchema:
-    def test_known_kind_with_wrong_fields_rejected(self):
-        tracer = Tracer(Simulator(), enabled=True)
+    def test_known_kind_with_wrong_fields_rejected_in_debug(self):
+        tracer = Tracer(Simulator(), enabled=True, debug=True)
         with pytest.raises(ConfigError):
             tracer.emit("yield", vcpu="v0")  # missing domain/cause
+
+    def test_schema_not_validated_outside_debug(self):
+        tracer = Tracer(Simulator(), enabled=True, debug=False)
+        tracer.emit("yield", vcpu="v0")  # hot path skips validation
+        assert tracer.counts["yield"] == 1
+
+    def test_want_returns_bound_emitter_or_none(self):
+        tracer = Tracer(Simulator(), enabled=True, kinds=("yield",))
+        assert tracer.want("virq_inject") is None
+        assert Tracer(Simulator(), enabled=False).want("yield") is None
+        emit = tracer.want("yield")
+        emit(vcpu="v0", domain="vm1", cause="ipi")
+        assert tracer.want("yield") is emit  # handle is cached
+        record = next(iter(tracer))
+        assert record.kind == "yield" and record.detail["cause"] == "ipi"
+        assert tracer.counts["yield"] == 1 and tracer.seq == 1
+
+    def test_want_emitter_validates_in_debug(self):
+        tracer = Tracer(Simulator(), enabled=True, debug=True)
+        emit = tracer.want("yield")
+        with pytest.raises(ConfigError):
+            emit(vcpu="v0")  # missing domain/cause
+
+    def test_drop_accounting_invariant(self):
+        # dropped + len(records) == seq, tracer-lifetime: ring overflow
+        # and clear() both count their discarded records.
+        tracer = Tracer(Simulator(), enabled=True, capacity=3)
+        emit = tracer.want("probe")
+        for _ in range(8):
+            emit()
+        assert tracer.dropped + len(tracer.records) == tracer.seq == 8
+        assert tracer.dropped == 5
+        tracer.clear()
+        assert tracer.dropped + len(tracer.records) == tracer.seq == 8
+        for _ in range(2):
+            emit()
+        assert tracer.dropped + len(tracer.records) == tracer.seq == 10
 
     def test_unknown_kind_allowed(self):
         tracer = Tracer(Simulator(), enabled=True)

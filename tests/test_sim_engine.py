@@ -195,11 +195,72 @@ class TestProcesses:
 
     def test_process_yielding_non_event_fails(self, sim):
         def proc():
-            yield 42
+            yield "not an event"
 
         sim.process(proc())
         with pytest.raises(SimulationError):
             sim.run()
+
+    def test_int_yield_is_a_timer_wait(self, sim):
+        """Yielding a bare int sleeps that many ns (the handle-level
+        timer wait) and resumes with ``None``."""
+        values = []
+
+        def proc():
+            got = yield 25
+            values.append((sim.now, got))
+            yield 10
+            values.append((sim.now, "second"))
+
+        sim.process(proc())
+        sim.run()
+        assert values == [(25, None), (35, "second")]
+
+    def test_int_yield_interrupt_cancels_timer(self, sim):
+        """Interrupting an int timer wait cancels the armed timer (no
+        stale entry left to fire) and resumes with Interrupt."""
+        from repro.sim.events import Interrupt
+
+        log = []
+
+        def proc():
+            try:
+                yield 1_000
+            except Interrupt as intr:
+                log.append((sim.now, intr.cause))
+            yield 5
+            log.append((sim.now, "after"))
+
+        p = sim.process(proc())
+        sim.schedule(10, lambda _a: p.interrupt("poke"))
+        sim.run()
+        assert log == [(10, "poke"), (15, "after")]
+        # The 1000ns timer must not survive: the clock stops at 15.
+        assert sim.now == 15
+
+    def test_int_yield_matches_timeout_sequencing(self):
+        """The int spelling and the Timeout spelling consume identical
+        (time, seq) slots, so co-running processes interleave the same
+        way under both."""
+
+        def trace(style):
+            sim = Simulator()
+            order = []
+
+            def worker(name):
+                for _ in range(4):
+                    if style == "int":
+                        yield 10
+                    else:
+                        yield sim.timeout(10)
+                    order.append((sim.now, name))
+
+            sim.process(worker("a"))
+            sim.process(worker("b"))
+            sim.run()
+            return order
+
+        assert trace("int") == trace("timeout")
 
     def test_process_exception_marks_failed(self, sim):
         def proc():
