@@ -60,9 +60,42 @@ def _cmd_schedulers(_args):
     return 0
 
 
+def _experiment_name(text):
+    """Validate one ``repro run`` experiment argument."""
+    if text not in registry.available():
+        raise argparse.ArgumentTypeError(
+            "unknown experiment %r (available: %s)"
+            % (text, ", ".join(registry.available()))
+        )
+    return text
+
+
+def _parse_workers(text):
+    """``--workers`` argument: a positive integer or ``auto`` (one
+    worker per CPU). Raises ``argparse``-friendly errors."""
+    if text.strip().lower() == "auto":
+        import os
+
+        return max(1, os.cpu_count() or 1)
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a positive integer or 'auto', got %r" % text
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError("worker count must be >= 1")
+    return value
+
+
 def _cmd_run(args):
-    _results, text = registry.run(
-        args.experiment,
+    names = list(args.experiment)
+    if args.all:
+        names = registry.available()
+    elif not names:
+        raise ReproError("specify at least one experiment (or --all)")
+    outcome = registry.run_many(
+        names,
         workers=args.workers,
         cache=False if args.no_cache else None,
         trace=_trace_request(args),
@@ -72,7 +105,12 @@ def _cmd_run(args):
         seed=args.seed,
         scale_override=args.scale,
     )
-    print(text)
+    for index, name in enumerate(outcome):
+        if len(outcome) > 1:
+            if index:
+                print()
+            print("=== %s ===" % name)
+        print(outcome[name][1])
     if args.trace_out:
         print("\ntrace written to %s" % args.trace_out)
     return 0
@@ -284,13 +322,25 @@ def build_parser():
 
     sub.add_parser("list", help="list experiments and workloads")
 
-    run_p = sub.add_parser("run", help="regenerate one paper table/figure")
-    run_p.add_argument("experiment", choices=registry.available())
+    run_p = sub.add_parser(
+        "run", help="regenerate one or more paper tables/figures"
+    )
+    # Per-item validation via type=, not choices=: argparse (< 3.12)
+    # rejects an empty nargs="*" list against choices, which would
+    # break bare `repro run --all`.
+    run_p.add_argument("experiment", nargs="*", type=_experiment_name,
+                       default=[], metavar="EXPERIMENT",
+                       help="experiment name(s) out of: %s; multiple "
+                       "experiments share one worker pool and one cache "
+                       "pass" % ", ".join(registry.available()))
+    run_p.add_argument("--all", action="store_true",
+                       help="run every registered experiment as one batch")
     run_p.add_argument("--seed", type=int, default=42)
     run_p.add_argument("--scale", type=float, default=None,
                        help="duration multiplier (default: REPRO_BENCH_SCALE or 1.0)")
-    run_p.add_argument("--workers", type=int, default=None,
-                       help="simulation worker processes "
+    run_p.add_argument("--workers", type=_parse_workers, default=None,
+                       metavar="N|auto",
+                       help="simulation worker processes; 'auto' = one per CPU "
                        "(default: REPRO_RUNNER_WORKERS or 1)")
     run_p.add_argument("--no-cache", action="store_true",
                        help="ignore and do not write the on-disk result cache")

@@ -40,6 +40,13 @@ class TraceError(ReproError):
     malformed JSONL, or missing required record fields)."""
 
 
+class WorkerError(ReproError):
+    """A simulation worker process failed permanently: it crashed (and
+    the bounded retry budget is exhausted) or raised inside
+    :func:`~repro.runner.jobs.run_job`. Carries the job tag and, for an
+    in-job exception, the worker-side traceback text."""
+
+
 class FaultError(ReproError):
     """Raised by the fault-injection subsystem: an invalid fault plan,
     an injected failure surfacing to a caller (e.g. a refused cpupool

@@ -87,8 +87,66 @@ def run(
     keep their own. The name is validated up front so an unknown backend
     fails before any simulation runs.
     """
-    module = get(name)
-    jobs = module.plan(**kwargs)
+    outcome = run_many(
+        [name],
+        workers=workers,
+        cache=cache,
+        trace=trace,
+        trace_out=trace_out,
+        faults=faults,
+        scheduler=scheduler,
+        **kwargs
+    )
+    return outcome[name]
+
+
+def run_many(
+    names,
+    workers=None,
+    cache=None,
+    trace=None,
+    trace_out=None,
+    faults=None,
+    scheduler=None,
+    **kwargs
+):
+    """Run a batch of experiments over **one** worker pool and **one**
+    cache-probe pass; returns ``{name: (results, formatted_text)}``.
+
+    All plans execute through :func:`repro.runner.execute_many`, so a
+    physical simulation shared by several experiments (e.g. the seed-42
+    gmake co-run baseline in fig4, table2, and table4a) is simulated
+    once for the whole batch, and the persistent worker pool spins up a
+    single time. ``trace_out`` requires a single experiment (a combined
+    trace file spanning experiments would conflate job tags).
+    """
+    names = list(dict.fromkeys(names))  # dedupe, keep order
+    if trace_out is not None and len(names) != 1:
+        raise ConfigError("--trace-out requires exactly one experiment")
+    modules = {name: get(name) for name in names}
+    plans = {}
+    for name, module in modules.items():
+        jobs = module.plan(**kwargs)
+        _prepare_plan(jobs, trace=trace, faults=faults, scheduler=scheduler)
+        plans[name] = jobs
+    by_plan = runner.execute_many(plans, workers=workers, cache=cache)
+    outcome = {}
+    for name in names:
+        by_tag = by_plan[name]
+        if trace_out is not None:
+            from ..sim.trace import write_jsonl
+
+            write_jsonl(
+                trace_out, {job.tag: by_tag[job.tag].trace for job in plans[name]}
+            )
+        _check_fault_invariants(by_tag)
+        results = modules[name].reduce(by_tag)
+        outcome[name] = (results, modules[name].format_result(results))
+    return outcome
+
+
+def _prepare_plan(jobs, trace=None, faults=None, scheduler=None):
+    """Apply the cross-cutting CLI knobs to every job in a plan."""
     if scheduler is not None:
         sched_registry.get(scheduler)  # raises ConfigError on unknown name
         for job in jobs:
@@ -104,14 +162,6 @@ def run(
             if job.faults is None:
                 horizon = job.warmup_ns + job.duration_ns
                 job.faults = resolve_plan(faults, horizon).to_dict()
-    by_tag = runner.execute(jobs, workers=workers, cache=cache)
-    if trace_out is not None:
-        from ..sim.trace import write_jsonl
-
-        write_jsonl(trace_out, {job.tag: by_tag[job.tag].trace for job in jobs})
-    _check_fault_invariants(by_tag)
-    results = module.reduce(by_tag)
-    return results, module.format_result(results)
 
 
 def _check_fault_invariants(by_tag):

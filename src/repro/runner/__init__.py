@@ -1,18 +1,21 @@
-"""Declarative experiment execution: job plans, a parallel executor,
-and a content-addressed result cache.
+"""Declarative experiment execution: job plans, a persistent-pool
+executor, and a content-addressed result cache.
 
-Every experiment module now splits into ``plan()`` (emit a list of
+Every experiment module splits into ``plan()`` (emit a list of
 :class:`SimJob` specs) and ``reduce()`` (fold ``{tag: RunResult}`` back
 into the historical result shape); ``run()`` is simply
 ``reduce(execute(plan(...)))``. Because jobs are self-describing and
-deterministic, :func:`execute` can fan them out over worker processes
-(``REPRO_RUNNER_WORKERS`` / ``--workers``) and replay any point it has
-simulated before from ``.repro-cache/`` (``REPRO_CACHE=off`` /
-``--no-cache`` to disable).
+deterministic, :func:`execute` can fan them out over the persistent
+worker pool (``REPRO_RUNNER_WORKERS`` / ``--workers``, spawned once
+per process and shared across calls — see :mod:`repro.runner.pool`)
+and replay any point it has simulated before from ``.repro-cache/``
+(``REPRO_CACHE=off`` / ``--no-cache`` to disable). Whole batches of
+plans share one pool and one cache-probe pass through
+:func:`execute_many` (``repro run --all``).
 """
 
-from . import cache
-from .executor import ENV_WORKERS, default_workers, execute
+from . import cache, costmodel, pool
+from .executor import ENV_WORKERS, default_workers, execute, execute_many
 from .jobs import (
     SimJob,
     baseline_policy,
@@ -31,9 +34,12 @@ __all__ = [
     "baseline_policy",
     "build_system",
     "cache",
+    "costmodel",
     "default_workers",
     "dynamic_policy",
     "execute",
+    "execute_many",
+    "pool",
     "run_job",
     "static_policy",
     "vtrs_policy",

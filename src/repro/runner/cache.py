@@ -22,6 +22,7 @@ and transparently re-simulated, never crash a run.
 import hashlib
 import json
 import os
+import time
 import warnings
 from functools import lru_cache
 from pathlib import Path
@@ -106,13 +107,50 @@ def load(key, override=None):
     return payload["result"]
 
 
+#: A ``*.tmp.<pid>`` file older than this is presumed leaked by a
+#: crashed run and swept; young tmp files may belong to a concurrent
+#: writer mid-rename and are left alone.
+TMP_SWEEP_AGE_SECONDS = 3600
+
+#: Directories already swept by this process (the sweep is a directory
+#: scan — once per process per directory is plenty).
+_SWEPT_DIRS = set()
+
+
+def sweep_stale_tmp(directory, max_age_seconds=TMP_SWEEP_AGE_SECONDS):
+    """Delete ``*.tmp.*`` files older than ``max_age_seconds`` from
+    ``directory``; returns how many were removed. Every failure is
+    ignored — a concurrent writer renaming its tmp away mid-sweep is
+    normal, not an error."""
+    removed = 0
+    try:
+        candidates = list(Path(directory).glob("*.tmp.*"))
+    except OSError:
+        return 0
+    cutoff = time.time() - max_age_seconds
+    for path in candidates:
+        try:
+            if path.stat().st_mtime < cutoff:
+                path.unlink()
+                removed += 1
+        except OSError:
+            continue
+    return removed
+
+
 def store(key, job, result, override=None):
     """Persist one job result. Writes are atomic (tmp + rename) so a
     crashed run can at worst leave a stale tmp file, never a torn
-    entry. Failures degrade to a warning — caching is best-effort."""
+    entry — and the first store of a process opportunistically sweeps
+    tmp files old enough to be such leftovers. Failures degrade to a
+    warning — caching is best-effort."""
     directory = cache_dir(override)
     path = entry_path(key, override)
     tmp = directory / ("%s.tmp.%d" % (key, os.getpid()))
+    swept_key = str(directory)
+    if swept_key not in _SWEPT_DIRS:
+        _SWEPT_DIRS.add(swept_key)
+        sweep_stale_tmp(directory)
     blob = json.dumps(
         {"format": FORMAT, "key": key, "job": job.to_dict(), "result": result},
         sort_keys=True,

@@ -1,0 +1,159 @@
+"""Per-job wall-time cost model for straggler-aware scheduling.
+
+``pool.map`` used to submit jobs in plan order and block on a barrier:
+a plan whose longest job happened to sit last finished one whole
+straggler later than necessary. The executor now orders submission
+**longest-first** (classic LPT list scheduling) using predictions from
+this model, so the expensive jobs start immediately and the small ones
+pack into the tail.
+
+The model is deliberately simple and robust:
+
+* every finished job contributes one observation — wall seconds per
+  simulated nanosecond — under a coarse feature key (scenario kind,
+  policy mode, traced?, faulted?); scenarios differ in event density
+  by an order of magnitude, which is exactly what the key captures;
+* observations fold into an exponentially-weighted moving average
+  (:data:`ALPHA`), so the model tracks machine speed without churning
+  on noise;
+* predictions are ``rate × simulated horizon``. An unseen feature
+  falls back to the mean of the known rates, then to
+  :data:`DEFAULT_RATE` — with no data at all, prediction degrades to
+  ordering by simulated horizon, which is still a good LPT proxy;
+* the table persists as ``meta/costmodel.json`` *alongside* the
+  result cache entries (``meta/`` keeps it out of the entry
+  namespace; same best-effort durability rules: atomic tmp+rename,
+  merge-on-save so concurrent runs keep each other's keys, corrupt
+  files silently start fresh). Timings are advisory — they affect
+  scheduling order only, never results — so sharing the cache
+  directory costs nothing and means a warm cache comes with a warm
+  cost model. When caching is off the model still *loads* (ordering
+  hints are free) but is never written.
+"""
+
+import json
+import os
+
+from . import cache as result_cache
+
+#: EWMA weight of the newest observation.
+ALPHA = 0.5
+
+#: Fallback wall-seconds per simulated nanosecond (~2 wall-sec per
+#: simulated second, the observed order of magnitude for this engine).
+DEFAULT_RATE = 2e-9
+
+FILENAME = "costmodel.json"
+SUBDIR = "meta"
+
+
+def model_path(cache_dir=None):
+    """Where the model lives for a given cache directory."""
+    return result_cache.cache_dir(cache_dir) / SUBDIR / FILENAME
+
+
+def feature(job):
+    """Coarse cost class of a job: scenario × policy mode × traced ×
+    faulted. Jobs in one class share a wall-time-per-simulated-ns rate."""
+    policy = job.policy or {}
+    return "|".join(
+        (
+            job.scenario,
+            policy.get("mode", "baseline"),
+            "traced" if job.trace is not None else "plain",
+            "faulted" if job.faults is not None else "healthy",
+        )
+    )
+
+
+def _horizon_ns(job):
+    return max(1, int(job.warmup_ns) + int(job.duration_ns))
+
+
+class CostModel:
+    """EWMA wall-time rates per job feature, persisted best-effort."""
+
+    def __init__(self, rates=None, path=None):
+        self._rates = dict(rates or {})
+        self._path = path
+        self._dirty = False
+
+    @classmethod
+    def load(cls, cache_dir=None):
+        """Load the model stored alongside the result cache (empty
+        model on any read problem — timings are advisory)."""
+        path = model_path(cache_dir)
+        rates = {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if isinstance(data, dict):
+                rates = {
+                    str(key): float(value)
+                    for key, value in data.get("rates", {}).items()
+                    if isinstance(value, (int, float)) and value > 0
+                }
+        except (OSError, ValueError):
+            pass
+        return cls(rates, path)
+
+    def predict(self, job):
+        """Predicted wall seconds for ``job`` (never raises)."""
+        rate = self._rates.get(feature(job))
+        if rate is None:
+            if self._rates:
+                rate = sum(self._rates.values()) / len(self._rates)
+            else:
+                rate = DEFAULT_RATE
+        return rate * _horizon_ns(job)
+
+    def observe(self, job, seconds):
+        """Fold one finished job's wall time into its feature's rate."""
+        if seconds <= 0:
+            return
+        rate = seconds / _horizon_ns(job)
+        previous = self._rates.get(feature(job))
+        if previous is None:
+            self._rates[feature(job)] = rate
+        else:
+            self._rates[feature(job)] = ALPHA * rate + (1.0 - ALPHA) * previous
+        self._dirty = True
+
+    def save(self):
+        """Merge-persist the rates (atomic rename, best-effort). A
+        concurrent run's keys survive: we re-read before writing and
+        only overwrite features we observed ourselves."""
+        if not self._dirty or self._path is None:
+            return
+        merged = dict(self._rates)
+        try:
+            with open(self._path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            for key, value in data.get("rates", {}).items():
+                if key not in merged and isinstance(value, (int, float)) and value > 0:
+                    merged[str(key)] = float(value)
+        except (OSError, ValueError, AttributeError):
+            pass
+        tmp = self._path.with_name("%s.tmp.%d" % (FILENAME, os.getpid()))
+        try:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps({"rates": merged}, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, self._path)
+            self._dirty = False
+        except OSError:
+            pass  # advisory data; never fail a run over it
+
+
+def order_longest_first(jobs, model):
+    """``jobs`` sorted by predicted cost, longest first. Ties (and the
+    no-data case within one feature class) fall back to the simulated
+    horizon, then to plan order — the sort is stable, so equal-cost
+    jobs keep their submission order."""
+    return sorted(
+        jobs,
+        key=lambda job: (model.predict(job), _horizon_ns(job)),
+        reverse=True,
+    )

@@ -1,56 +1,274 @@
-"""Parallel job execution.
+"""Scale-out job execution.
 
 :func:`execute` takes the declarative job plan an experiment emitted
-and returns ``{tag: RunResult}``. Within one call it:
+and returns ``{tag: RunResult}``; :func:`execute_many` does the same
+for a whole batch of plans at once (``repro run --all``). Within one
+call the executor:
 
-1. deduplicates jobs whose canonical specs coincide (several tags can
+1. deduplicates jobs whose canonical specs coincide — across *all*
+   plans in the batch (several tags, and several experiments, can
    describe the same physical simulation);
-2. replays every point already present in the on-disk result cache;
-3. fans the remaining simulations out over a ``multiprocessing`` pool
-   (``spawn`` start method — jobs are plain picklable specs and the
-   scenario is rebuilt inside the worker), or runs them inline when
-   ``workers <= 1``.
+2. replays every point already present in the on-disk result cache in
+   one probe pass;
+3. fans the remaining simulations out over the **persistent worker
+   pool** (:mod:`repro.runner.pool` — spawned once per process
+   lifetime, shared across calls), or runs them inline when
+   ``workers <= 1`` / the pool is unavailable.
 
-``REPRO_RUNNER_WORKERS`` sets the default pool size (1 = serial);
-``REPRO_CACHE=off`` disables result caching. Explicit arguments win
-over both knobs.
+Three scheduling refinements over the old per-call ``Pool.map``:
+
+* **straggler-aware submission** — jobs are submitted longest-first
+  using the persisted cost model (:mod:`repro.runner.costmodel`), and
+  completions stream back unordered instead of blocking on a barrier;
+* **chunking** — many-small-job plans are dispatched in chunks so the
+  per-task queue round-trip amortises;
+* **cache-as-transport** — when the result cache is on, workers
+  persist their own payload and return only the 64-byte cache key plus
+  wall time; the parent never re-pickles multi-megabyte payloads
+  through a pipe, and the cache write path is concurrent-safe by
+  construction (each entry is written exactly once, atomically, by the
+  worker that computed it).
+
+``REPRO_RUNNER_WORKERS`` sets the default pool size (1 = serial,
+``auto`` = one per CPU); ``REPRO_CACHE=off`` disables result caching;
+``REPRO_RUNNER_POOL=legacy|off`` falls back to the per-call
+``Pool.map`` path or to inline execution. Explicit arguments win over
+all knobs.
 """
 
 import multiprocessing
 import os
+import time
+import warnings
 
-from ..errors import ConfigError
+from ..errors import ConfigError, WorkerError
 from . import cache as result_cache
+from . import costmodel, pool as pool_mod
 from .jobs import SimJob, run_job
 
 ENV_WORKERS = "REPRO_RUNNER_WORKERS"
 
+#: Chunking kicks in when a plan carries more than ``CHUNK_THRESHOLD``
+#: pending jobs per worker; chunks never exceed ``CHUNK_CAP`` jobs so
+#: a crash retries at most that many.
+CHUNK_THRESHOLD = 4
+CHUNK_CAP = 8
+
 
 def default_workers():
-    """Worker count from ``REPRO_RUNNER_WORKERS`` (default: 1, serial)."""
+    """Worker count from ``REPRO_RUNNER_WORKERS``.
+
+    Accepts a positive integer or ``auto`` (one worker per CPU).
+    Unset/empty means 1 (serial). Anything else is almost certainly a
+    typo that used to *silently* degrade to serial — now it warns."""
     raw = os.environ.get(ENV_WORKERS, "").strip()
     if not raw:
         return 1
+    if raw.lower() == "auto":
+        return max(1, os.cpu_count() or 1)
     try:
         return max(1, int(raw))
     except ValueError:
+        warnings.warn(
+            "ignoring non-integer %s=%r (use a positive integer or 'auto'); "
+            "running serial" % (ENV_WORKERS, raw),
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1
 
 
 def _run_job_payload(job_dict):
-    """Worker entry point: rebuild the job spec and simulate it. Module
-    level (not a closure) so the spawn start method can import it."""
+    """Worker entry point for the *legacy* per-call pool: rebuild the
+    job spec and simulate it. Module level (not a closure) so the spawn
+    start method can import it."""
     return run_job(SimJob.from_dict(job_dict))
 
 
-def _simulate(jobs, workers):
-    """Run ``jobs`` and return their payloads in order."""
+def _pool_map_baseline(jobs, workers):
+    """The pre-persistent-pool execution path: spawn a fresh
+    ``multiprocessing.Pool`` for this one call and ``map`` over it
+    (order-preserving barrier; full interpreter + import + code-salt
+    cost per call). Kept as the measured baseline for
+    ``benchmarks/test_runner_perf.py`` and reachable via
+    ``REPRO_RUNNER_POOL=legacy``."""
     if workers <= 1 or len(jobs) <= 1:
         return [run_job(job) for job in jobs]
     context = multiprocessing.get_context("spawn")
     processes = min(workers, len(jobs))
-    with context.Pool(processes=processes) as pool:
-        return pool.map(_run_job_payload, [job.to_dict() for job in jobs])
+    with context.Pool(processes=processes) as worker_pool:
+        return worker_pool.map(_run_job_payload, [job.to_dict() for job in jobs])
+
+
+def _chunk_size(pending_count, workers):
+    """Jobs per dispatch chunk: 1 until the plan is big enough that the
+    queue round-trip would dominate, then roughly ``CHUNK_THRESHOLD``
+    waves per worker, capped."""
+    if pending_count <= workers * CHUNK_THRESHOLD:
+        return 1
+    return max(1, min(CHUNK_CAP, pending_count // (workers * CHUNK_THRESHOLD)))
+
+
+def _simulate_inline(pending, use_cache, cache_dir, model):
+    """Serial fallback: run every pending job in this process."""
+    payloads = {}
+    for job, key in pending:
+        start = time.perf_counter()
+        payload = run_job(job)
+        model.observe(job, time.perf_counter() - start)
+        if use_cache:
+            result_cache.store(key, job, payload, cache_dir)
+        payloads[key] = payload
+    return payloads
+
+
+def _simulate_pending(pending, workers, use_cache, cache_dir):
+    """Simulate the deduplicated cache-miss jobs; returns ``{key:
+    payload}``. Chooses the persistent pool, the legacy per-call pool,
+    or inline execution based on ``workers`` and ``REPRO_RUNNER_POOL``."""
+    model = costmodel.CostModel.load(cache_dir)
+    mode = pool_mod.pool_mode()
+    try:
+        if workers <= 1 or len(pending) <= 1 or mode == "off":
+            return _simulate_inline(pending, use_cache, cache_dir, model)
+        if mode == "legacy":
+            payloads = {}
+            computed = _pool_map_baseline([job for job, _key in pending], workers)
+            for (job, key), payload in zip(pending, computed):
+                if use_cache:
+                    result_cache.store(key, job, payload, cache_dir)
+                payloads[key] = payload
+            return payloads
+        shared = pool_mod.shared_pool(workers)
+        if shared is None or shared.running:
+            return _simulate_inline(pending, use_cache, cache_dir, model)
+        return _simulate_on_pool(shared, pending, workers, use_cache, cache_dir, model)
+    finally:
+        if use_cache:  # the model lives inside the cache directory
+            model.save()
+
+
+def _simulate_on_pool(shared, pending, workers, use_cache, cache_dir, model):
+    """Dispatch ``pending`` over the persistent pool: longest-first
+    submission, streamed unordered completion, cache-as-transport."""
+    ordered_jobs = costmodel.order_longest_first([job for job, _ in pending], model)
+    key_of = {id(job): key for job, key in pending}
+    store_dir = str(result_cache.cache_dir(cache_dir)) if use_cache else None
+    entries = [
+        (job.to_dict(), key_of[id(job)] if use_cache else None, store_dir)
+        for job in ordered_jobs
+    ]
+    outcomes = shared.run(
+        entries,
+        chunk_size=_chunk_size(len(entries), workers),
+        max_workers=workers,
+    )
+    payloads = {}
+    for job, outcome in zip(ordered_jobs, outcomes):
+        key = key_of[id(job)]
+        if outcome is None:
+            outcome = pool_mod.JobOutcome("error", "job produced no outcome", 0.0)
+        if outcome.kind == "key":
+            payload = result_cache.load(outcome.value, cache_dir)
+            if payload is None:
+                # The entry vanished between the worker's write and our
+                # read (cache dir wiped mid-run?). Recompute inline.
+                warnings.warn(
+                    "cache-transport entry for job %r disappeared; "
+                    "re-simulating inline" % job.tag,
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                payload = run_job(job)
+            model.observe(job, outcome.seconds)
+        elif outcome.kind == "payload":
+            payload = outcome.value
+            model.observe(job, outcome.seconds)
+            if use_cache:
+                result_cache.store(key, job, payload, cache_dir)
+        else:
+            raise WorkerError(
+                "job %r failed in a worker process:\n%s" % (job.tag, outcome.value)
+            )
+        payloads[key] = payload
+    return payloads
+
+
+def simulate_jobs(jobs, workers=None, on_job_done=None):
+    """Run bare jobs — no cache probe, no dedup, no cache writes — and
+    return their payload dicts in input order.
+
+    This is the raw fan-out primitive the payload-manifest verifier
+    uses to exercise the persistent pool: payloads travel back through
+    the pipe (payload transport) so the check is independent of the
+    cache. ``on_job_done(index, payload)`` streams completions (input
+    order not guaranteed). Worker failures raise
+    :class:`~repro.errors.WorkerError`."""
+    jobs = list(jobs)
+    if workers is None:
+        workers = default_workers()
+    shared = None
+    if workers > 1 and len(jobs) > 1 and pool_mod.pool_mode() == "persistent":
+        shared = pool_mod.shared_pool(workers)
+        if shared is not None and shared.running:
+            shared = None
+    if shared is None:
+        payloads = []
+        for index, job in enumerate(jobs):
+            payload = run_job(job)
+            if on_job_done is not None:
+                on_job_done(index, payload)
+            payloads.append(payload)
+        return payloads
+
+    def on_result(job_id, outcome):
+        if on_job_done is not None and outcome.kind == "payload":
+            on_job_done(job_id, outcome.value)
+
+    outcomes = shared.run(
+        [(job.to_dict(), None, None) for job in jobs],
+        chunk_size=_chunk_size(len(jobs), workers),
+        max_workers=workers,
+        on_result=on_result,
+    )
+    payloads = []
+    for job, outcome in zip(jobs, outcomes):
+        if outcome is None or outcome.kind != "payload":
+            detail = outcome.value if outcome is not None else "no outcome"
+            raise WorkerError("job %r failed in a worker process:\n%s" % (job.tag, detail))
+        payloads.append(outcome.value)
+    return payloads
+
+
+def _probe_plans(plans, use_cache, cache_dir):
+    """One cache-probe pass across every plan in the batch. Returns
+    ``(keyed, payloads, pending)`` where ``keyed`` maps each plan name
+    to its ``[(job, key)]`` list, ``payloads`` holds every cache hit,
+    and ``pending`` lists the deduplicated misses."""
+    keyed = {}
+    payloads = {}
+    pending = []
+    pending_keys = set()
+    for name, jobs in plans.items():
+        jobs = list(jobs)
+        tags = [job.tag for job in jobs]
+        if len(set(tags)) != len(tags):
+            raise ConfigError(
+                "duplicate job tags in plan%s: %r"
+                % (" %r" % name if name else "", sorted(tags))
+            )
+        keyed[name] = [(job, result_cache.job_key(job)) for job in jobs]
+        for job, key in keyed[name]:
+            if key in payloads or key in pending_keys:
+                continue  # duplicate physical point inside this batch
+            if use_cache:
+                hit = result_cache.load(key, cache_dir)
+                if hit is not None:
+                    payloads[key] = hit
+                    continue
+            pending.append((job, key))
+            pending_keys.add(key)
+    return keyed, payloads, pending
 
 
 def execute(jobs, workers=None, cache=None, cache_dir=None):
@@ -60,36 +278,31 @@ def execute(jobs, workers=None, cache=None, cache_dir=None):
     reads ``REPRO_CACHE`` (``True``/``False`` force it); ``cache_dir``
     overrides the cache location (mainly for tests).
     """
+    return execute_many({"": jobs}, workers=workers, cache=cache, cache_dir=cache_dir)[""]
+
+
+def execute_many(plans, workers=None, cache=None, cache_dir=None):
+    """Execute a batch of job plans sharing one pool and one
+    cache-probe pass; returns ``{name: {tag: RunResult}}``.
+
+    ``plans`` maps a plan name to its job list. Jobs that describe the
+    same physical simulation — within one plan or across plans — are
+    simulated once. This is what ``repro run --all`` (and any
+    multi-experiment invocation) goes through, so e.g. the seed-42
+    gmake co-run baseline shared by fig4, table2, and table4a costs
+    one simulation for the whole batch.
+    """
     from ..experiments.results import RunResult
 
-    jobs = list(jobs)
-    tags = [job.tag for job in jobs]
-    if len(set(tags)) != len(tags):
-        raise ConfigError("duplicate job tags in plan: %r" % sorted(tags))
+    plans = {name: list(jobs) for name, jobs in plans.items()}
     if workers is None:
         workers = default_workers()
     use_cache = result_cache.enabled() if cache is None else bool(cache)
 
-    keyed = [(job, result_cache.job_key(job)) for job in jobs]
-    payloads = {}
-    pending = []
-    pending_keys = set()
-    for job, key in keyed:
-        if key in payloads or key in pending_keys:
-            continue  # duplicate physical point inside this plan
-        if use_cache:
-            hit = result_cache.load(key, cache_dir)
-            if hit is not None:
-                payloads[key] = hit
-                continue
-        pending.append((job, key))
-        pending_keys.add(key)
-
+    keyed, payloads, pending = _probe_plans(plans, use_cache, cache_dir)
     if pending:
-        computed = _simulate([job for job, _key in pending], workers)
-        for (job, key), payload in zip(pending, computed):
-            if use_cache:
-                result_cache.store(key, job, payload, cache_dir)
-            payloads[key] = payload
-
-    return {job.tag: RunResult.from_dict(payloads[key]) for job, key in keyed}
+        payloads.update(_simulate_pending(pending, workers, use_cache, cache_dir))
+    return {
+        name: {job.tag: RunResult.from_dict(payloads[key]) for job, key in pairs}
+        for name, pairs in keyed.items()
+    }

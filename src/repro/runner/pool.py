@@ -1,0 +1,431 @@
+"""Persistent simulation worker pool.
+
+The original executor paid the full ``spawn`` tax on every
+:func:`~repro.runner.executor.execute` call: four fresh interpreters,
+four ``import repro``, four :func:`~repro.runner.cache.code_salt`
+re-hashes — roughly half a second of pure overhead per call, repeated
+for every experiment in a multi-experiment invocation. This module
+spawns the workers **once per process lifetime** and shares them across
+every ``execute()`` call and experiment:
+
+* each worker pre-imports the scenario machinery and pre-hashes the
+  code salt before accepting its first job;
+* the parent dispatches jobs to idle workers one chunk at a time and
+  streams completions off a shared result queue — no ``pool.map``
+  barrier, so a straggler never blocks the jobs behind it;
+* results travel either as raw payload dicts or, when the result cache
+  is on, *through the cache*: the worker persists the payload itself
+  and sends back only the 64-byte key plus its wall time
+  (cache-as-transport — see :mod:`repro.runner.executor`);
+* a worker that dies mid-job is detected (liveness poll on queue
+  timeouts), respawned, and its in-flight chunk retried up to
+  :data:`MAX_RETRIES` times before the job surfaces a
+  :class:`~repro.errors.WorkerError`;
+* anything that prevents spawning at all (``REPRO_RUNNER_POOL=off``,
+  a sandboxed environment refusing ``fork``/``spawn``) degrades to
+  inline execution in the caller, never to a crash.
+
+The module-level singleton (:func:`shared_pool`) is what the executor
+uses; :class:`WorkerPool` itself is also usable standalone (the
+payload-manifest tool and the benchmarks drive it directly).
+"""
+
+import atexit
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+import traceback
+import warnings
+
+from ..errors import WorkerError
+
+#: How many times one job is re-dispatched to a fresh worker after the
+#: worker holding it died. One retry tolerates a transient kill (OOM,
+#: operator signal); a job that kills two workers in a row is treated
+#: as deterministic poison and surfaced as a WorkerError.
+MAX_RETRIES = 1
+
+#: Liveness-poll interval while waiting on the result queue. Only paid
+#: when no result is ready; results arriving faster are consumed
+#: back-to-back without sleeping.
+POLL_SECONDS = 0.2
+
+#: ``REPRO_RUNNER_POOL`` — ``persistent`` (default), ``legacy``
+#: (per-call ``Pool.map``, kept as the benchmark baseline), or ``off``
+#: (inline execution regardless of the worker count).
+ENV_POOL = "REPRO_RUNNER_POOL"
+
+#: Test-only fault hook (see ``_maybe_test_crash``): crash a worker
+#: deterministically when it picks up a given job tag.
+ENV_TEST_CRASH = "REPRO_RUNNER_TEST_CRASH"
+
+
+def pool_mode():
+    """The configured execution mode: persistent | legacy | off."""
+    raw = os.environ.get(ENV_POOL, "").strip().lower()
+    if raw in ("", "persistent", "on", "1", "true"):
+        return "persistent"
+    if raw in ("legacy", "spawn"):
+        return "legacy"
+    if raw in ("off", "0", "false", "inline", "no"):
+        return "off"
+    warnings.warn(
+        "ignoring unknown %s=%r (use persistent | legacy | off)" % (ENV_POOL, raw),
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return "persistent"
+
+
+def _maybe_test_crash(tag):
+    """Deterministic worker-crash hook for the resilience tests.
+
+    ``REPRO_RUNNER_TEST_CRASH=<tag>`` kills the worker (hard
+    ``os._exit``, no cleanup — modelling a SIGKILL) every time a job
+    with that tag is picked up; ``<tag>:<marker-path>`` kills it only
+    while the marker file does not exist (the crashing worker creates
+    it first, so exactly one attempt dies and the retry succeeds).
+    """
+    spec = os.environ.get(ENV_TEST_CRASH)
+    if not spec:
+        return
+    crash_tag, _, marker = spec.partition(":")
+    if tag != crash_tag:
+        return
+    if marker:
+        if os.path.exists(marker):
+            return
+        with open(marker, "w") as handle:
+            handle.write("crashed once\n")
+    os._exit(17)
+
+
+def _worker_main(worker_index, task_queue, result_queue):
+    """Worker process body: warm up once, then serve job chunks forever.
+
+    A task is ``(epoch, chunk_id, [(job_id, job_dict, key, store_dir),
+    ...])`` or ``None`` to shut down. One result message is posted per
+    chunk: ``(worker_index, epoch, chunk_id, [(job_id, kind, value,
+    seconds), ...])`` where ``kind`` is ``"key"`` (value = cache key,
+    payload already persisted by this worker), ``"payload"`` (value =
+    payload dict) or ``"error"`` (value = worker-side traceback text).
+    The epoch lets the parent discard messages from a previous
+    ``run()`` call (a worker that posted its result and then died is
+    presumed lost and retried; the late message must not corrupt the
+    next run's bookkeeping).
+    """
+    # One-time warm-up, amortised over every job this worker will run:
+    # import the full scenario/experiment machinery and hash the
+    # package sources for cache keys.
+    from . import cache as result_cache
+    from .jobs import SimJob, run_job
+
+    import repro.experiments.scenarios  # noqa: F401  (pre-import, heavy)
+
+    result_cache.code_salt()
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        epoch, chunk_id, entries = task
+        results = []
+        for job_id, job_dict, key, store_dir in entries:
+            _maybe_test_crash(job_dict.get("tag"))
+            start = time.perf_counter()
+            try:
+                job = SimJob.from_dict(job_dict)
+                payload = run_job(job)
+                seconds = time.perf_counter() - start
+                if key is not None and store_dir is not None:
+                    # Cache-as-transport: persist here, ship the key.
+                    result_cache.store(key, job, payload, store_dir)
+                    if result_cache.entry_path(key, store_dir).exists():
+                        results.append((job_id, "key", key, seconds))
+                    else:  # store degraded to a warning; ship the payload
+                        results.append((job_id, "payload", payload, seconds))
+                else:
+                    results.append((job_id, "payload", payload, seconds))
+            except Exception:
+                seconds = time.perf_counter() - start
+                results.append((job_id, "error", traceback.format_exc(), seconds))
+        result_queue.put((worker_index, epoch, chunk_id, results))
+
+
+class JobOutcome:
+    """One job's result as it came back from the pool."""
+
+    __slots__ = ("kind", "value", "seconds", "retries")
+
+    def __init__(self, kind, value, seconds, retries=0):
+        self.kind = kind  # "key" | "payload" | "error"
+        self.value = value
+        self.seconds = seconds
+        self.retries = retries
+
+
+class _Worker:
+    __slots__ = ("index", "process", "task_queue", "chunk")
+
+    def __init__(self, index, process, task_queue):
+        self.index = index
+        self.process = process
+        self.task_queue = task_queue
+        self.chunk = None  # (chunk_id, entries, retries) while busy
+
+
+class WorkerPool:
+    """A fixed set of pre-warmed ``spawn`` worker processes.
+
+    ``run()`` may be called any number of times; workers survive
+    between calls. The pool can :meth:`grow` but never shrinks — a
+    ``run(..., max_workers=k)`` with ``k < size`` simply limits how
+    many workers are dispatched to concurrently.
+    """
+
+    def __init__(self, workers, context=None):
+        self._ctx = context or multiprocessing.get_context("spawn")
+        self._result_queue = self._ctx.Queue()
+        self._workers = []
+        self._closed = False
+        self._running = False
+        self._epoch = 0
+        for _ in range(max(1, int(workers))):
+            self._spawn_worker()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _spawn_worker(self):
+        index = len(self._workers)
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(index, task_queue, self._result_queue),
+            daemon=True,
+            name="repro-worker-%d" % index,
+        )
+        process.start()
+        self._workers.append(_Worker(index, process, task_queue))
+        return self._workers[-1]
+
+    def _respawn(self, worker):
+        """Replace a dead worker in place (same index, fresh process)."""
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker.index, task_queue, self._result_queue),
+            daemon=True,
+            name="repro-worker-%d" % worker.index,
+        )
+        process.start()
+        worker.process = process
+        worker.task_queue = task_queue
+        worker.chunk = None
+
+    @property
+    def size(self):
+        return len(self._workers)
+
+    @property
+    def alive(self):
+        return not self._closed
+
+    @property
+    def running(self):
+        return self._running
+
+    def worker_pids(self):
+        """Live worker PIDs (test/introspection aid)."""
+        return [w.process.pid for w in self._workers]
+
+    def grow(self, workers):
+        while len(self._workers) < workers:
+            self._spawn_worker()
+
+    def close(self, timeout=2.0):
+        """Shut every worker down; idempotent, safe on crashed workers."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + timeout
+        for worker in self._workers:
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        self._workers = []
+
+    # -- execution ----------------------------------------------------
+
+    def run(self, entries, chunk_size=1, max_workers=None, on_result=None):
+        """Execute ``entries`` and return a list of :class:`JobOutcome`
+        in *input order* (dispatch order is the caller's submission
+        order — sort longest-first for straggler-aware scheduling).
+
+        ``entries`` is a list of ``(job_dict, key, store_dir)``;
+        ``key``/``store_dir`` of ``None`` selects payload transport.
+        Completions stream back unordered; ``on_result(job_id,
+        outcome)`` fires as each job lands. Jobs on a crashed worker
+        are retried up to :data:`MAX_RETRIES` times, then reported as
+        ``kind="error"`` outcomes.
+        """
+        if self._closed:
+            raise WorkerError("worker pool is closed")
+        if self._running:
+            raise WorkerError("worker pool is busy (re-entrant run() call)")
+        self._running = True
+        self._epoch += 1
+        try:
+            return self._run(entries, chunk_size, max_workers, on_result)
+        finally:
+            self._running = False
+
+    def _run(self, entries, chunk_size, max_workers, on_result):
+        epoch = self._epoch
+        outcomes = [None] * len(entries)
+        chunk_size = max(1, int(chunk_size))
+        chunks = []
+        for start in range(0, len(entries), chunk_size):
+            block = [
+                (job_id, job_dict, key, store_dir)
+                for job_id, (job_dict, key, store_dir) in enumerate(
+                    entries[start : start + chunk_size], start
+                )
+            ]
+            chunks.append((len(chunks), block, 0))
+        pending = list(reversed(chunks))  # pop() takes submission order
+        remaining = len(entries)
+        limit = self.size if max_workers is None else max(1, min(max_workers, self.size))
+
+        # A worker is dispatchable iff worker.chunk is None. A chunk
+        # left over from a previous run (result never arrived) keeps
+        # its worker out of rotation until the stale message lands.
+        def dispatch():
+            while pending:
+                busy = sum(1 for w in self._workers if w.chunk is not None)
+                if busy >= limit:
+                    return
+                idle = next((w for w in self._workers if w.chunk is None), None)
+                if idle is None:
+                    return
+                if not idle.process.is_alive():
+                    self._respawn(idle)
+                chunk_id, block, retries = pending.pop()
+                live = [e for e in block if outcomes[e[0]] is None]
+                if not live:
+                    continue
+                idle.chunk = (epoch, chunk_id, live, retries)
+                idle.task_queue.put((epoch, chunk_id, live))
+
+        def absorb(message):
+            nonlocal remaining
+            worker_index, msg_epoch, msg_chunk_id, results = message
+            worker = self._workers[worker_index]
+            retries = 0
+            if worker.chunk is not None and worker.chunk[:2] == (msg_epoch, msg_chunk_id):
+                retries = worker.chunk[3]
+                worker.chunk = None
+            if msg_epoch != epoch:
+                return  # stale message from an earlier run
+            for job_id, kind, value, seconds in results:
+                if outcomes[job_id] is not None:
+                    continue  # late duplicate after a presumed-lost chunk
+                outcomes[job_id] = JobOutcome(kind, value, seconds, retries)
+                remaining -= 1
+                if on_result is not None:
+                    on_result(job_id, outcomes[job_id])
+
+        def reap_crashes():
+            nonlocal remaining
+            for worker in self._workers:
+                if worker.chunk is None or worker.process.is_alive():
+                    continue
+                chunk_epoch, chunk_id, block, retries = worker.chunk
+                worker.chunk = None
+                self._respawn(worker)
+                if chunk_epoch != epoch:
+                    continue  # a previous run's leftovers; nobody is waiting
+                live = [e for e in block if outcomes[e[0]] is None]
+                if not live:
+                    continue
+                if retries < MAX_RETRIES:
+                    warnings.warn(
+                        "worker died while running job(s) %s; retrying"
+                        % ", ".join(repr(e[1].get("tag")) for e in live),
+                        RuntimeWarning,
+                        stacklevel=4,
+                    )
+                    pending.append((chunk_id, live, retries + 1))
+                else:
+                    for job_id, job_dict, _key, _store in live:
+                        outcomes[job_id] = JobOutcome(
+                            "error",
+                            "worker process died repeatedly while running job %r "
+                            "(%d attempts)" % (job_dict.get("tag"), retries + 1),
+                            0.0,
+                            retries,
+                        )
+                        remaining -= 1
+
+        dispatch()
+        while remaining:
+            try:
+                absorb(self._result_queue.get(timeout=POLL_SECONDS))
+            except queue_mod.Empty:
+                # Nothing ready: look for corpses among the busy workers.
+                reap_crashes()
+            except (OSError, EOFError):  # torn pickle from a dying worker
+                reap_crashes()
+            dispatch()
+        return outcomes
+
+
+# -- shared singleton -------------------------------------------------
+
+_SHARED = None
+_ATEXIT_REGISTERED = False
+
+
+def shared_pool(workers):
+    """The process-wide pool, created on first use and grown on demand.
+
+    Returns ``None`` when a pool should not (mode ``off``/``legacy``,
+    ``workers <= 1``) or cannot (spawn failure — warns and degrades)
+    be used; callers fall back to inline execution.
+    """
+    global _SHARED, _ATEXIT_REGISTERED
+    if workers <= 1 or pool_mode() != "persistent":
+        return None
+    if _SHARED is not None and _SHARED.alive:
+        if _SHARED.size < workers:
+            _SHARED.grow(workers)
+        return _SHARED
+    try:
+        _SHARED = WorkerPool(workers)
+    except (OSError, ValueError) as err:
+        warnings.warn(
+            "could not start the persistent worker pool (%s); "
+            "running jobs inline" % err,
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        _SHARED = None
+        return None
+    if not _ATEXIT_REGISTERED:
+        atexit.register(shutdown_shared)
+        _ATEXIT_REGISTERED = True
+    return _SHARED
+
+
+def shutdown_shared():
+    """Close the shared pool (atexit hook; also used by tests to force
+    a fresh spawn)."""
+    global _SHARED
+    if _SHARED is not None:
+        _SHARED.close()
+        _SHARED = None

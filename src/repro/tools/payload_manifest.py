@@ -11,7 +11,14 @@ never for a performance PR.
 Usage::
 
     python -m repro.tools.payload_manifest --verify   # CI hash-identity job
+    python -m repro.tools.payload_manifest --verify --workers 4   # via the pool
     python -m repro.tools.payload_manifest --update   # regenerate (model changes only)
+
+``--workers N`` (default: ``REPRO_RUNNER_WORKERS``) recomputes the
+payloads through the persistent worker pool with payload transport —
+the same fan-out path ``execute()`` uses — so the identity gate also
+proves that pooled execution is byte-clean. Serial and pooled runs
+must (and do) produce identical digests.
 
 The manifest lives at ``tests/data/payload_manifest.json``. Keys are
 the SHA-256 of each job's canonical spec; values carry the payload
@@ -65,10 +72,7 @@ def unique_jobs(scale=MANIFEST_SCALE):
     return jobs
 
 
-def compute_entry(job, tags):
-    from ..runner.jobs import run_job
-
-    payload = run_job(job)
+def _entry(job, tags, payload):
     return {
         "payload_sha256": _sha256(canonical_payload(payload)),
         "scenario": job.scenario,
@@ -78,13 +82,41 @@ def compute_entry(job, tags):
     }
 
 
-def generate(scale=MANIFEST_SCALE, progress=None):
-    jobs = unique_jobs(scale)
-    entries = {}
-    for index, (key, (job, tags)) in enumerate(sorted(jobs.items())):
-        entries[key] = compute_entry(job, tags)
+def compute_entries(jobs, workers=None, progress=None):
+    """``{spec_sha: manifest entry}`` for every job in ``jobs``
+    (a ``unique_jobs``-shaped mapping), computed serially or fanned out
+    over the persistent worker pool (``workers > 1``). Progress streams
+    in completion order; the result is deterministic either way."""
+    from ..runner.executor import simulate_jobs
+
+    ordered = sorted(jobs.items())
+    state = {"done": 0}
+
+    def on_job_done(index, _payload):
+        state["done"] += 1
         if progress is not None:
-            progress(index + 1, len(jobs), tags[0])
+            progress(state["done"], len(ordered), ordered[index][1][1][0])
+
+    payloads = simulate_jobs(
+        [job for _key, (job, _tags) in ordered],
+        workers=workers,
+        on_job_done=on_job_done,
+    )
+    return {
+        key: _entry(job, tags, payload)
+        for (key, (job, tags)), payload in zip(ordered, payloads)
+    }
+
+
+def compute_entry(job, tags):
+    """Single-job manifest entry (serial path)."""
+    from ..runner.jobs import run_job
+
+    return _entry(job, tags, run_job(job))
+
+
+def generate(scale=MANIFEST_SCALE, workers=None, progress=None):
+    entries = compute_entries(unique_jobs(scale), workers=workers, progress=progress)
     return {"scale": scale, "count": len(entries), "entries": entries}
 
 
@@ -93,10 +125,11 @@ def load():
         return json.load(handle)
 
 
-def verify(manifest=None, keys=None, progress=None):
+def verify(manifest=None, keys=None, workers=None, progress=None):
     """Recompute payloads and compare against the manifest. Returns a
     list of mismatch descriptions (empty = all byte-identical).
-    ``keys`` restricts the check to a subset of spec hashes."""
+    ``keys`` restricts the check to a subset of spec hashes;
+    ``workers`` fans the recomputation out over the persistent pool."""
     if manifest is None:
         manifest = load()
     jobs = unique_jobs(manifest["scale"])
@@ -117,21 +150,20 @@ def verify(manifest=None, keys=None, progress=None):
     check = sorted(set(expected) & set(jobs))
     if keys is not None:
         check = [key for key in check if key in keys]
-    for index, key in enumerate(check):
-        job, tags = jobs[key]
-        entry = compute_entry(job, tags)
-        if entry["payload_sha256"] != expected[key]["payload_sha256"]:
+    entries = compute_entries(
+        {key: jobs[key] for key in check}, workers=workers, progress=progress
+    )
+    for key in check:
+        if entries[key]["payload_sha256"] != expected[key]["payload_sha256"]:
             mismatches.append(
                 "payload diverged for %s (%s): manifest %s, recomputed %s"
                 % (
                     key[:12],
-                    ", ".join(sorted(tags)),
+                    ", ".join(sorted(jobs[key][1])),
                     expected[key]["payload_sha256"][:12],
-                    entry["payload_sha256"][:12],
+                    entries[key]["payload_sha256"][:12],
                 )
             )
-        if progress is not None:
-            progress(index + 1, len(check), tags[0])
     return mismatches
 
 
@@ -154,17 +186,22 @@ def main(argv=None):
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the progress line"
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="recompute payloads through the persistent worker pool "
+        "(default: REPRO_RUNNER_WORKERS or serial)",
+    )
     args = parser.parse_args(argv)
     progress = None if args.quiet else _print_progress
     if args.update:
-        manifest = generate(progress=progress)
+        manifest = generate(workers=args.workers, progress=progress)
         MANIFEST_PATH.parent.mkdir(parents=True, exist_ok=True)
         with open(MANIFEST_PATH, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print("wrote %d payload digests to %s" % (manifest["count"], MANIFEST_PATH))
         return 0
-    mismatches = verify(progress=progress)
+    mismatches = verify(workers=args.workers, progress=progress)
     if mismatches:
         for line in mismatches:
             print("MISMATCH: %s" % line)

@@ -1,12 +1,18 @@
 """Result-cache correctness: keys must move when anything that affects
 the simulation moves, and damaged entries must degrade to a re-run,
-never to a crash or a wrong result.
+never to a crash or a wrong result — even under concurrent writers.
 """
 
 import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.runner import SimJob, cache, execute, static_policy
 from repro.sim.time import ms
 
@@ -104,3 +110,99 @@ class TestStorage:
         monkeypatch.setenv(cache.ENV_TOGGLE, "off")
         execute([_job()], workers=1, cache=True, cache_dir=tmp_path)
         assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+class TestStaleTmpSweep:
+    def _age(self, path, seconds):
+        old = time.time() - seconds
+        os.utime(path, (old, old))
+
+    def test_sweep_removes_only_old_tmp_files(self, tmp_path):
+        stale = tmp_path / ("%s.tmp.12345" % ("a" * 64))
+        stale.write_text("{half-written")
+        self._age(stale, 2 * cache.TMP_SWEEP_AGE_SECONDS)
+        fresh = tmp_path / ("%s.tmp.12346" % ("b" * 64))
+        fresh.write_text("{in-flight")
+        entry = tmp_path / ("%s.json" % ("c" * 64))
+        entry.write_text("{}")
+        self._age(entry, 2 * cache.TMP_SWEEP_AGE_SECONDS)
+
+        assert cache.sweep_stale_tmp(tmp_path) == 1
+        assert not stale.exists()
+        assert fresh.exists()  # young: may belong to a live writer
+        assert entry.exists()  # real entries are never swept
+
+    def test_sweep_of_missing_directory_is_harmless(self, tmp_path):
+        assert cache.sweep_stale_tmp(tmp_path / "nope") == 0
+
+    def test_store_sweeps_once_per_process(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(cache, "_SWEPT_DIRS", set())
+        stale = tmp_path / ("%s.tmp.99999" % ("d" * 64))
+        stale.write_text("{leaked by a crashed run")
+        self._age(stale, 2 * cache.TMP_SWEEP_AGE_SECONDS)
+
+        job = _job()
+        cache.store(cache.job_key(job), job, {"ok": True}, tmp_path)
+        assert not stale.exists()
+
+        # The memo prevents a second scan: a new stale file survives
+        # later stores in the same process.
+        stale.write_text("{leaked again")
+        self._age(stale, 2 * cache.TMP_SWEEP_AGE_SECONDS)
+        cache.store(cache.job_key(job), job, {"ok": True}, tmp_path)
+        assert stale.exists()
+
+
+_WRITER_SCRIPT = """
+import sys
+from repro.runner import cache
+from repro.runner.jobs import SimJob
+from repro.sim.time import ms
+
+key, directory, variant, rounds = sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+job = SimJob(tag="t", scenario="solo", scenario_kwargs={"workload_kind": "gmake"},
+             seed=7, duration_ns=ms(12))
+result = {"variant": variant, "blob": ["x" * 512] * 200}
+for _ in range(rounds):
+    cache.store(key, job, result, directory)
+"""
+
+
+class TestConcurrentWriters:
+    def test_racing_stores_never_produce_a_torn_entry(self, tmp_path):
+        """Two processes hammering store() on the same key: every load()
+        observed during the race must be either a miss (before the first
+        rename lands) or one writer's complete payload — never a torn or
+        mixed entry, and never a warning."""
+        key = "e" * 64
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+        )
+        writers = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER_SCRIPT, key, str(tmp_path), variant, "40"],
+                env=env,
+            )
+            for variant in ("a", "b")
+        ]
+        observed = set()
+        deadline = time.time() + 60
+        try:
+            while any(proc.poll() is None for proc in writers):
+                assert time.time() < deadline, "writer processes hung"
+                payload = cache.load(key, tmp_path)  # warns on a torn entry
+                if payload is not None:
+                    assert payload["variant"] in ("a", "b")
+                    assert len(payload["blob"]) == 200
+                    observed.add(payload["variant"])
+        finally:
+            for proc in writers:
+                proc.wait(timeout=60)
+        assert all(proc.returncode == 0 for proc in writers)
+        final = cache.load(key, tmp_path)
+        assert final is not None and final["variant"] in ("a", "b")
+        assert observed  # the race window actually saw committed entries
+        # No stray tmp files survive the writers exiting cleanly.
+        assert list(tmp_path.glob("*.tmp.*")) == []

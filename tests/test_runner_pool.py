@@ -1,0 +1,292 @@
+"""The persistent worker pool: lifetime, scheduling, transport, and
+crash resilience.
+
+The contract under test: ``execute()``/``execute_many()`` through the
+persistent pool must be byte-identical to serial execution (payloads
+travel either through the pipe or through the cache), the pool must
+spawn once and be reused across calls, a crashed worker must cost at
+most one retry — never a hang — and every degraded path must fall back
+inline instead of failing the run.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import WorkerError
+from repro.runner import SimJob, costmodel, execute, execute_many
+from repro.runner import executor as executor_mod
+from repro.runner import pool as pool_mod
+from repro.sim.time import ms
+
+
+def _job(tag, seed, duration_ms=10):
+    return SimJob(
+        tag=tag,
+        scenario="solo",
+        scenario_kwargs={"workload_kind": "gmake"},
+        seed=seed,
+        duration_ns=ms(duration_ms),
+    )
+
+
+def _norm(results):
+    return json.dumps(
+        {tag: res.to_dict() for tag, res in results.items()}, sort_keys=True
+    )
+
+
+@pytest.fixture
+def fresh_pool_env():
+    """Tear the shared pool down after a test that changed its spawn
+    environment (crash hooks leak into workers via os.environ)."""
+    pool_mod.shutdown_shared()
+    yield
+    pool_mod.shutdown_shared()
+
+
+class TestDefaultWorkers:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv(executor_mod.ENV_WORKERS, raising=False)
+        assert executor_mod.default_workers() == 1
+
+    def test_integer(self, monkeypatch):
+        monkeypatch.setenv(executor_mod.ENV_WORKERS, "3")
+        assert executor_mod.default_workers() == 3
+
+    def test_auto_maps_to_cpu_count(self, monkeypatch):
+        monkeypatch.setenv(executor_mod.ENV_WORKERS, "auto")
+        assert executor_mod.default_workers() == max(1, os.cpu_count() or 1)
+
+    def test_garbage_warns_instead_of_silently_degrading(self, monkeypatch):
+        monkeypatch.setenv(executor_mod.ENV_WORKERS, "banana")
+        with pytest.warns(RuntimeWarning, match="banana"):
+            assert executor_mod.default_workers() == 1
+
+
+class TestPoolMode:
+    def test_default_is_persistent(self, monkeypatch):
+        monkeypatch.delenv(pool_mod.ENV_POOL, raising=False)
+        assert pool_mod.pool_mode() == "persistent"
+
+    @pytest.mark.parametrize(
+        "raw,mode",
+        [("legacy", "legacy"), ("off", "off"), ("persistent", "persistent")],
+    )
+    def test_explicit_modes(self, monkeypatch, raw, mode):
+        monkeypatch.setenv(pool_mod.ENV_POOL, raw)
+        assert pool_mod.pool_mode() == mode
+
+    def test_unknown_mode_warns(self, monkeypatch):
+        monkeypatch.setenv(pool_mod.ENV_POOL, "warp9")
+        with pytest.warns(RuntimeWarning, match="warp9"):
+            assert pool_mod.pool_mode() == "persistent"
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_execute_calls(self, tmp_path):
+        first = execute([_job("a", 1), _job("b", 2)], workers=2, cache=False)
+        shared = pool_mod._SHARED
+        assert shared is not None and shared.alive
+        pids = shared.worker_pids()
+        second = execute([_job("c", 3), _job("d", 4)], workers=2, cache=False)
+        assert pool_mod._SHARED is shared
+        assert shared.worker_pids() == pids  # same processes, no respawn
+        assert set(first) == {"a", "b"} and set(second) == {"c", "d"}
+
+    def test_payload_transport_matches_serial(self):
+        jobs = [_job("j%d" % i, seed=i) for i in range(4)]
+        serial = execute(jobs, workers=1, cache=False)
+        pooled = execute(jobs, workers=2, cache=False)
+        assert _norm(serial) == _norm(pooled)
+
+    def test_cache_transport_matches_serial(self, tmp_path):
+        jobs = [_job("j%d" % i, seed=i) for i in range(4)]
+        serial = execute(jobs, workers=1, cache=False)
+        pooled = execute(jobs, workers=2, cache=True, cache_dir=tmp_path)
+        assert _norm(serial) == _norm(pooled)
+        # The workers wrote the entries themselves (cache-as-transport):
+        # every unique job has exactly one valid entry on disk.
+        entries = sorted(tmp_path.glob("*.json"))
+        assert len(entries) == len(jobs)
+        for entry in entries:
+            payload = json.loads(entry.read_text())
+            assert payload["key"] == entry.stem
+            assert isinstance(payload["result"], dict)
+        # ... and the warm replay serves them back bit-identically.
+        warm = execute(jobs, workers=2, cache=True, cache_dir=tmp_path)
+        assert _norm(warm) == _norm(serial)
+
+    def test_grow_on_larger_request(self):
+        execute([_job("a", 1), _job("b", 2)], workers=2, cache=False)
+        size_before = pool_mod._SHARED.size
+        execute([_job("c", 3), _job("d", 4), _job("e", 5)], workers=3, cache=False)
+        assert pool_mod._SHARED.size == max(size_before, 3)
+
+    def test_mode_off_never_spawns(self, monkeypatch):
+        monkeypatch.setenv(pool_mod.ENV_POOL, "off")
+        pool_mod.shutdown_shared()
+        results = execute([_job("a", 1), _job("b", 2)], workers=2, cache=False)
+        assert pool_mod._SHARED is None
+        assert set(results) == {"a", "b"}
+
+
+class TestWorkerPoolPrimitive:
+    def test_chunked_run_returns_input_order(self, fresh_pool_env):
+        pool = pool_mod.WorkerPool(2)
+        try:
+            jobs = [_job("c%d" % i, seed=10 + i) for i in range(5)]
+            entries = [(job.to_dict(), None, None) for job in jobs]
+            outcomes = pool.run(entries, chunk_size=2)
+            assert [o.kind for o in outcomes] == ["payload"] * 5
+            inline = [executor_mod.run_job(job) for job in jobs]
+            assert [o.value for o in outcomes] == inline
+            assert all(o.seconds > 0 for o in outcomes)
+        finally:
+            pool.close()
+
+    def test_in_job_exception_surfaces_as_error_outcome(self, fresh_pool_env):
+        pool = pool_mod.WorkerPool(1)
+        try:
+            bad = SimJob(tag="bad", scenario="no-such-scenario", duration_ns=ms(10))
+            (outcome,) = pool.run([(bad.to_dict(), None, None)])
+            assert outcome.kind == "error"
+            assert "no-such-scenario" in outcome.value
+        finally:
+            pool.close()
+
+
+class TestCrashResilience:
+    def test_crash_retried_once_then_succeeds(self, tmp_path, monkeypatch, fresh_pool_env):
+        marker = tmp_path / "crashed-once"
+        monkeypatch.setenv(pool_mod.ENV_TEST_CRASH, "victim:%s" % marker)
+        jobs = [_job("j0", 1), _job("victim", 2), _job("j2", 3)]
+        with pytest.warns(RuntimeWarning, match="retrying"):
+            results = execute(jobs, workers=2, cache=False)
+        assert marker.exists()
+        assert set(results) == {"j0", "victim", "j2"}
+        monkeypatch.delenv(pool_mod.ENV_TEST_CRASH)
+        pool_mod.shutdown_shared()
+        serial = execute(jobs, workers=1, cache=False)
+        assert _norm(results) == _norm(serial)
+
+    def test_repeated_crash_raises_worker_error_not_hang(
+        self, monkeypatch, fresh_pool_env
+    ):
+        monkeypatch.setenv(pool_mod.ENV_TEST_CRASH, "victim")
+        jobs = [_job("j0", 1), _job("victim", 2)]
+        with pytest.warns(RuntimeWarning, match="retrying"):
+            with pytest.raises(WorkerError, match="victim"):
+                execute(jobs, workers=2, cache=False)
+
+    def test_worker_error_message_names_the_job(self, monkeypatch, fresh_pool_env):
+        monkeypatch.setenv(pool_mod.ENV_TEST_CRASH, "victim")
+        with pytest.warns(RuntimeWarning, match="retrying"):
+            with pytest.raises(WorkerError, match="died repeatedly"):
+                execute([_job("victim", 2), _job("ok", 3)], workers=2, cache=False)
+
+
+class TestExecuteMany:
+    def test_cross_plan_dedup_simulates_once(self, tmp_path):
+        plans = {
+            "alpha": [_job("a1", seed=1), _job("shared", seed=2)],
+            "beta": [_job("b1", seed=2), _job("b2", seed=3)],  # seed 2 shared
+        }
+        results = execute_many(plans, workers=1, cache=True, cache_dir=tmp_path)
+        assert set(results) == {"alpha", "beta"}
+        # 4 tags but only 3 unique physical points -> 3 cache entries.
+        assert len(list(tmp_path.glob("*.json"))) == 3
+        assert (
+            results["alpha"]["shared"].to_dict() == results["beta"]["b1"].to_dict()
+        )
+
+    def test_duplicate_tags_inside_one_plan_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="alpha"):
+            execute_many(
+                {"alpha": [_job("x", 1), _job("x", 2)]}, workers=1, cache=False
+            )
+
+    def test_empty_batch(self):
+        assert execute_many({}, workers=1, cache=False) == {}
+
+
+class TestCostModel:
+    def test_observe_then_predict(self):
+        model = costmodel.CostModel()
+        job = _job("a", 1, duration_ms=10)
+        model.observe(job, 2.0)
+        assert model.predict(job) == pytest.approx(2.0)
+        # Twice the horizon -> twice the prediction within one feature.
+        assert model.predict(_job("b", 2, duration_ms=20)) == pytest.approx(4.0)
+
+    def test_unseen_feature_falls_back_to_known_mean(self):
+        model = costmodel.CostModel()
+        model.observe(_job("a", 1, duration_ms=10), 1.0)
+        corun = SimJob(
+            tag="c",
+            scenario="corun",
+            scenario_kwargs={"workload_kind": "gmake"},
+            seed=1,
+            duration_ns=ms(10),
+        )
+        assert model.predict(corun) == pytest.approx(1.0)
+
+    def test_ewma_tracks_new_observations(self):
+        model = costmodel.CostModel()
+        job = _job("a", 1)
+        model.observe(job, 1.0)
+        model.observe(job, 3.0)
+        assert model.predict(job) == pytest.approx(2.0)  # alpha = 0.5
+
+    def test_save_load_roundtrip_and_merge(self, tmp_path):
+        model = costmodel.CostModel.load(tmp_path)
+        model.observe(_job("a", 1), 1.5)
+        model.save()
+        assert costmodel.model_path(tmp_path).exists()
+        # A second model observing a different feature merges, not clobbers.
+        other = costmodel.CostModel.load(tmp_path)
+        corun = SimJob(
+            tag="c",
+            scenario="corun",
+            scenario_kwargs={"workload_kind": "gmake"},
+            seed=1,
+            duration_ns=ms(10),
+        )
+        other.observe(corun, 0.5)
+        other.save()
+        merged = costmodel.CostModel.load(tmp_path)
+        assert merged.predict(_job("a", 1)) == pytest.approx(1.5)
+        assert merged.predict(corun) == pytest.approx(0.5)
+
+    def test_corrupt_model_file_starts_fresh(self, tmp_path):
+        path = costmodel.model_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        path.write_text("{torn")
+        model = costmodel.CostModel.load(tmp_path)
+        assert model.predict(_job("a", 1)) > 0  # default rate
+
+    def test_longest_first_ordering(self):
+        model = costmodel.CostModel()
+        short = _job("short", 1, duration_ms=10)
+        long = _job("long", 2, duration_ms=40)
+        mid = _job("mid", 3, duration_ms=20)
+        ordered = costmodel.order_longest_first([short, long, mid], model)
+        assert [job.tag for job in ordered] == ["long", "mid", "short"]
+
+    def test_stable_for_equal_costs(self):
+        model = costmodel.CostModel()
+        jobs = [_job("j%d" % i, seed=i, duration_ms=10) for i in range(4)]
+        ordered = costmodel.order_longest_first(jobs, model)
+        assert [job.tag for job in ordered] == [job.tag for job in jobs]
+
+
+class TestChunkSizing:
+    def test_small_plans_unchunked(self):
+        assert executor_mod._chunk_size(8, workers=4) == 1
+
+    def test_large_plans_chunk_and_cap(self):
+        assert executor_mod._chunk_size(64, workers=2) == 8
+        assert executor_mod._chunk_size(10_000, workers=2) == executor_mod.CHUNK_CAP
