@@ -1,0 +1,64 @@
+"""Telemetry overhead microbenchmarks.
+
+The telemetry registry promises that instrumenting the runner stack is
+effectively free on the simulation hot path: the engine-side cost per
+job is two cached-counter increments, one histogram record, and two
+``perf_counter()`` calls — nothing per simulated event. These
+benchmarks quantify that promise on the standard co-run job path with
+telemetry enabled vs. disabled (``set_enabled``, the same switch
+``REPRO_TELEMETRY=off`` throws at import), and fold both rates into
+``BENCH_engine.json``. The acceptance bar for the PR that added
+telemetry: the enabled rate stays within 5 % of the previous
+trajectory snapshot's corun throughput.
+"""
+
+import functools
+
+from test_simulator_perf import BENCH_JSON, _mean, _record  # noqa: F401
+
+from repro.obs import telemetry
+from repro.runner.jobs import SimJob, build_system, run_job
+from repro.sim.time import ms
+
+
+def _job():
+    return SimJob(
+        tag="bench",
+        scenario="corun",
+        scenario_kwargs={"workload_kind": "dedup"},
+        seed=7,
+        duration_ns=ms(50),
+    )
+
+
+@functools.lru_cache(maxsize=1)
+def _events_per_run():
+    """Simulated-event count of the benchmark job — deterministic for
+    the spec, so one untimed run serves both rate computations."""
+    system = build_system(_job())
+    system.run(_job().duration_ns)
+    return system.sim.executed_events
+
+
+def _run_with_telemetry(enabled):
+    telemetry.set_enabled(enabled)
+    try:
+        run_job(_job())
+    finally:
+        telemetry.set_enabled(True)
+
+
+class TestTelemetryOverhead:
+    def test_corun_job_telemetry_on(self, benchmark):
+        benchmark.pedantic(_run_with_telemetry, args=(True,), rounds=1, iterations=1)
+        _record(
+            "corun_telemetry_on_events_per_sec",
+            _events_per_run() / _mean(benchmark),
+        )
+
+    def test_corun_job_telemetry_off(self, benchmark):
+        benchmark.pedantic(_run_with_telemetry, args=(False,), rounds=1, iterations=1)
+        _record(
+            "corun_telemetry_off_events_per_sec",
+            _events_per_run() / _mean(benchmark),
+        )

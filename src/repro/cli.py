@@ -5,11 +5,15 @@ Examples::
     repro list                      # experiments and workloads
     repro run table2                # regenerate one paper table/figure
     repro run fig9 --seed 7
+    repro run fig7 --progress       # live per-job status line on stderr
+    repro telemetry                 # runner/pool/cache metrics, JSON
+    repro telemetry --format prom   # Prometheus text exposition
     repro corun gmake --policy static:1 --duration-ms 250
     repro solo exim
 """
 
 import argparse
+import json
 import sys
 
 from .core.policy import PolicySpec
@@ -88,23 +92,62 @@ def _parse_workers(text):
     return value
 
 
+class _ProgressLine:
+    """Renders executor progress events as a live status line.
+
+    On a TTY the line is rewritten in place (carriage return, padded to
+    the previous width); on a pipe every *finished* job prints one
+    plain line and the noisy ``start`` events are suppressed, so CI
+    logs stay readable. Events arrive as ``(event, tag, done, total)``
+    straight from :class:`repro.runner.executor.Progress`.
+    """
+
+    _VERBS = {"hit": "cache hit", "start": "running  ", "done": "done     "}
+
+    def __init__(self, stream=None):
+        self.stream = sys.stderr if stream is None else stream
+        self.tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._width = 0
+
+    def __call__(self, event, tag, done, total):
+        text = "[%*d/%d] %s %s" % (len(str(total)), done, total,
+                                   self._VERBS.get(event, event), tag)
+        if self.tty:
+            self.stream.write("\r" + text + " " * max(0, self._width - len(text)))
+            self._width = len(text)
+        elif event != "start":
+            self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def close(self):
+        if self.tty and self._width:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
 def _cmd_run(args):
     names = list(args.experiment)
     if args.all:
         names = registry.available()
     elif not names:
         raise ReproError("specify at least one experiment (or --all)")
-    outcome = registry.run_many(
-        names,
-        workers=args.workers,
-        cache=False if args.no_cache else None,
-        trace=_trace_request(args),
-        trace_out=args.trace_out,
-        faults=getattr(args, "faults", None),
-        scheduler=getattr(args, "scheduler", None),
-        seed=args.seed,
-        scale_override=args.scale,
-    )
+    progress = _ProgressLine() if args.progress else None
+    try:
+        outcome = registry.run_many(
+            names,
+            workers=args.workers,
+            cache=False if args.no_cache else None,
+            trace=_trace_request(args),
+            trace_out=args.trace_out,
+            faults=getattr(args, "faults", None),
+            scheduler=getattr(args, "scheduler", None),
+            progress=progress,
+            seed=args.seed,
+            scale_override=args.scale,
+        )
+    finally:
+        if progress is not None:
+            progress.close()
     for index, name in enumerate(outcome):
         if len(outcome) > 1:
             if index:
@@ -120,9 +163,35 @@ def _cmd_analyze(args):
     from .obs import analyze
 
     if args.diff:
-        print(analyze.diff_files(args.file, args.diff))
+        if args.json:
+            print(json.dumps(analyze.diff_dict(args.file, args.diff),
+                             indent=2, sort_keys=True))
+        else:
+            print(analyze.diff_files(args.file, args.diff))
+    elif args.json:
+        print(json.dumps(analyze.report_dict(analyze.analyze_file(args.file)),
+                         indent=2, sort_keys=True))
     else:
         print(analyze.format_report(analyze.analyze_file(args.file)))
+    return 0
+
+
+def _cmd_telemetry(args):
+    from .obs import telemetry
+
+    if args.file:
+        snap, where = telemetry.load_persisted(path=args.file), args.file
+    else:
+        snap, where = telemetry.load_persisted(), telemetry.snapshot_path()
+    if snap is None:
+        raise ReproError(
+            "no telemetry snapshot at %s (run an experiment first, e.g. "
+            "'repro run fig7')" % where
+        )
+    if args.format == "prom":
+        sys.stdout.write(telemetry.render_prom(snap))
+    else:
+        print(json.dumps(snap, indent=2, sort_keys=True))
     return 0
 
 
@@ -344,6 +413,9 @@ def build_parser():
                        "(default: REPRO_RUNNER_WORKERS or 1)")
     run_p.add_argument("--no-cache", action="store_true",
                        help="ignore and do not write the on-disk result cache")
+    run_p.add_argument("--progress", action="store_true",
+                       help="live per-job status line on stderr (cache hits, "
+                       "worker pickups, completions)")
     _add_scheduler_arg(run_p)
     _add_trace_args(run_p)
     _add_faults_arg(run_p)
@@ -374,6 +446,19 @@ def build_parser():
     an_p.add_argument("file", help="trace file written by --trace-out")
     an_p.add_argument("--diff", metavar="OTHER", default=None,
                       help="compare event counts against a second trace file")
+    an_p.add_argument("--json", action="store_true",
+                      help="emit the analysis as sorted-key JSON instead of "
+                      "the human-readable report")
+
+    tel_p = sub.add_parser(
+        "telemetry", help="dump the last run's runner/pool/cache metrics"
+    )
+    tel_p.add_argument("--format", choices=("json", "prom"), default="json",
+                       help="output format: sorted-key JSON (default) or "
+                       "Prometheus text exposition")
+    tel_p.add_argument("--file", default=None, metavar="PATH",
+                       help="read this snapshot file instead of the one next "
+                       "to the result cache")
 
     sweep_p = sub.add_parser(
         "sweep", help="sweep micro-sliced core counts for one workload"
@@ -410,6 +495,8 @@ def main(argv=None):
             return _cmd_compare(args)
         if args.command == "analyze":
             return _cmd_analyze(args)
+        if args.command == "telemetry":
+            return _cmd_telemetry(args)
         if args.command == "faults":
             return _cmd_faults(args)
         if args.command == "schedulers":

@@ -58,6 +58,7 @@ def run(
     trace_out=None,
     faults=None,
     scheduler=None,
+    progress=None,
     **kwargs
 ):
     """Run one experiment; returns ``(results, formatted_text)``.
@@ -95,6 +96,7 @@ def run(
         trace_out=trace_out,
         faults=faults,
         scheduler=scheduler,
+        progress=progress,
         **kwargs
     )
     return outcome[name]
@@ -108,6 +110,7 @@ def run_many(
     trace_out=None,
     faults=None,
     scheduler=None,
+    progress=None,
     **kwargs
 ):
     """Run a batch of experiments over **one** worker pool and **one**
@@ -119,6 +122,11 @@ def run_many(
     once for the whole batch, and the persistent worker pool spins up a
     single time. ``trace_out`` requires a single experiment (a combined
     trace file spanning experiments would conflate job tags).
+
+    ``progress`` is a ``callback(event, tag, done, total)`` hook fed by
+    the executor's live job stream (cache hits, worker pickups,
+    completions) — ``repro run --progress`` plugs its status-line
+    renderer in here.
     """
     names = list(dict.fromkeys(names))  # dedupe, keep order
     if trace_out is not None and len(names) != 1:
@@ -129,7 +137,7 @@ def run_many(
         jobs = module.plan(**kwargs)
         _prepare_plan(jobs, trace=trace, faults=faults, scheduler=scheduler)
         plans[name] = jobs
-    by_plan = runner.execute_many(plans, workers=workers, cache=cache)
+    by_plan = runner.execute_many(plans, workers=workers, cache=cache, progress=progress)
     outcome = {}
     for name in names:
         by_tag = by_plan[name]

@@ -9,7 +9,10 @@ the pieces that are not tied to a single simulator layer:
 * :mod:`repro.obs.runstate` — per-vCPU time-in-state (steal-time)
   accounting plus its conservation invariant;
 * :mod:`repro.obs.analyze`  — the ``repro analyze`` engine: span
-  reconstruction, runstate tables, yield decompositions, trace diffs.
+  reconstruction, runstate tables, yield decompositions, trace diffs;
+* :mod:`repro.obs.telemetry` — the *runner-stack* metrics registry
+  (pool/cache/cost-model/engine counters, gauges, log2 histograms)
+  with JSON and Prometheus exposition export (``repro telemetry``).
 
 The emitting side lives where the events happen —
 :class:`repro.sim.trace.Tracer` (the buffer/export machinery),
@@ -22,6 +25,7 @@ schema and runstate modules stay import-light so the simulator core can
 use them without cycles.
 """
 
+from . import telemetry
 from .runstate import STATES, RunstateAccount, steal_report, validate, validate_result
 from .schema import META_KINDS, RESERVED_KEYS, TRACE_SCHEMA, known_kinds
 
@@ -33,6 +37,7 @@ __all__ = [
     "TRACE_SCHEMA",
     "known_kinds",
     "steal_report",
+    "telemetry",
     "validate",
     "validate_result",
 ]

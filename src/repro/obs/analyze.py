@@ -301,6 +301,72 @@ def format_report(analyses):
     )
 
 
+# ----------------------------------------------------------------------
+# machine-readable output (repro analyze --json)
+# ----------------------------------------------------------------------
+def _span_dicts(histograms):
+    return {key: histograms[key].snapshot() for key in sorted(histograms)}
+
+
+def analysis_to_dict(analysis):
+    """One job's analysis as a JSON-native dict — the same sections the
+    human report renders (meta, event counts, yield decomposition,
+    runstate accounting + conservation, IPI/lock span histograms, fault
+    timeline, adaptive decisions), in data form. Span histograms use
+    the standard :meth:`~repro.metrics.histogram.Histogram.snapshot`
+    shape. Deterministic for a given trace file; dump with
+    ``sort_keys=True`` for byte-stable output."""
+    return {
+        "job": analysis.job,
+        "meta": analysis.meta,
+        "seq_gaps": analysis.seq_gaps,
+        "event_counts": analysis.event_counts(),
+        "yields": {
+            domain: dict(sorted(causes.items()))
+            for domain, causes in sorted(analysis.yields.items())
+        },
+        "runstates": {
+            domain: {str(vcpu): dict(snap) for vcpu, snap in sorted(vcpus.items())}
+            for domain, vcpus in sorted(analysis.runstates.items())
+        },
+        "conservation_violations": [
+            {"domain": domain, "vcpu": vcpu, "off_by_ns": delta}
+            for domain, vcpu, delta in analysis.violations
+        ],
+        "ipi_spans": _span_dicts(analysis.ipi_spans),
+        "lock_waits": _span_dicts(analysis.lock_waits),
+        "lock_holds": _span_dicts(analysis.lock_holds),
+        "fault_events": list(analysis.fault_events),
+        "adaptive": list(analysis.adaptive),
+    }
+
+
+def report_dict(analyses):
+    """Every job's analysis as ``{job_label: analysis dict}`` (what
+    ``repro analyze FILE --json`` prints)."""
+    return {job: analysis_to_dict(analyses[job]) for job in analyses}
+
+
+def diff_dict(path_a, path_b):
+    """The trace diff as data: ``{job_label: {kind: {"a": .., "b": ..,
+    "delta": ..}}}`` — only kinds whose counts differ appear, so an
+    empty inner dict means identical event counts for that job."""
+    a = analyze_file(path_a)
+    b = analyze_file(path_b)
+    report = {}
+    for job in sorted(set(a) | set(b)):
+        counts_a = a[job].counts if job in a else {}
+        counts_b = b[job].counts if job in b else {}
+        deltas = {}
+        for kind in sorted(set(counts_a) | set(counts_b)):
+            left = counts_a.get(kind, 0)
+            right = counts_b.get(kind, 0)
+            if left != right:
+                deltas[kind] = {"a": left, "b": right, "delta": right - left}
+        report[job] = deltas
+    return report
+
+
 def diff_files(path_a, path_b):
     """Compare two trace files kind by kind, per job label."""
     a = analyze_file(path_a)

@@ -27,6 +27,23 @@ import warnings
 from functools import lru_cache
 from pathlib import Path
 
+from ..obs import telemetry
+
+#: Cache telemetry (see ``docs/observability.md`` §6). Every formerly
+#: warn-only degradation path (unreadable entry, poisoned entry, stale
+#: tmp sweep, failed store) now also counts — the warning stays for
+#: humans, the counter feeds dashboards and tests.
+_HITS = telemetry.counter("cache.hits")
+_MISSES = telemetry.counter("cache.misses")
+_HIT_BYTES = telemetry.counter("cache.hit_bytes")
+_CORRUPT = telemetry.counter("cache.corrupt_entries")
+_POISONED = telemetry.counter("cache.poisoned_entries")
+_STORES = telemetry.counter("cache.stores")
+_STORE_BYTES = telemetry.counter("cache.store_bytes")
+_STORE_ERRORS = telemetry.counter("cache.store_errors")
+_SWEEP_RUNS = telemetry.counter("cache.sweep_runs")
+_SWEEP_REMOVED = telemetry.counter("cache.sweep_removed")
+
 ENV_TOGGLE = "REPRO_CACHE"
 ENV_DIR = "REPRO_CACHE_DIR"
 DEFAULT_DIR = ".repro-cache"
@@ -82,10 +99,14 @@ def load(key, override=None):
     path = entry_path(key, override)
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+            text = handle.read()
+        payload = json.loads(text)
     except FileNotFoundError:
+        _MISSES.inc()
         return None
     except (OSError, ValueError, UnicodeDecodeError) as err:
+        _CORRUPT.inc()
+        _MISSES.inc()
         warnings.warn(
             "ignoring corrupt result cache entry %s (%s); re-simulating" % (path, err),
             RuntimeWarning,
@@ -98,12 +119,16 @@ def load(key, override=None):
         or payload.get("key") != key
         or not isinstance(payload.get("result"), dict)
     ):
+        _POISONED.inc()
+        _MISSES.inc()
         warnings.warn(
             "ignoring malformed result cache entry %s; re-simulating" % path,
             RuntimeWarning,
             stacklevel=2,
         )
         return None
+    _HITS.inc()
+    _HIT_BYTES.inc(len(text))
     return payload["result"]
 
 
@@ -117,12 +142,21 @@ TMP_SWEEP_AGE_SECONDS = 3600
 _SWEPT_DIRS = set()
 
 
+def reset_sweep_latch():
+    """Forget which directories this process has already swept. The
+    latch used to be unreachable module state, which made the sweep
+    untestable after the first store; tests (and long-lived services
+    that relocate their cache) reset it explicitly."""
+    _SWEPT_DIRS.clear()
+
+
 def sweep_stale_tmp(directory, max_age_seconds=TMP_SWEEP_AGE_SECONDS):
     """Delete ``*.tmp.*`` files older than ``max_age_seconds`` from
     ``directory``; returns how many were removed. Every failure is
     ignored — a concurrent writer renaming its tmp away mid-sweep is
     normal, not an error."""
     removed = 0
+    _SWEEP_RUNS.inc()
     try:
         candidates = list(Path(directory).glob("*.tmp.*"))
     except OSError:
@@ -135,6 +169,7 @@ def sweep_stale_tmp(directory, max_age_seconds=TMP_SWEEP_AGE_SECONDS):
                 removed += 1
         except OSError:
             continue
+    _SWEEP_REMOVED.inc(removed)
     return removed
 
 
@@ -159,7 +194,10 @@ def store(key, job, result, override=None):
         directory.mkdir(parents=True, exist_ok=True)
         tmp.write_text(blob, encoding="utf-8")
         os.replace(tmp, path)
+        _STORES.inc()
+        _STORE_BYTES.inc(len(blob))
     except OSError as err:
+        _STORE_ERRORS.inc()
         warnings.warn(
             "could not write result cache entry %s (%s)" % (path, err),
             RuntimeWarning,

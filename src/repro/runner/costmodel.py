@@ -34,6 +34,7 @@ The model is deliberately simple and robust:
 import json
 import os
 
+from ..obs import telemetry
 from . import cache as result_cache
 
 #: EWMA weight of the newest observation.
@@ -108,15 +109,31 @@ class CostModel:
         return rate * _horizon_ns(job)
 
     def observe(self, job, seconds):
-        """Fold one finished job's wall time into its feature's rate."""
+        """Fold one finished job's wall time into its feature's rate.
+
+        Before updating, the *pre-observation* prediction is scored
+        against the actual wall time, so LPT ordering quality is
+        measurable per feature class: ``costmodel.<class>.abs_err_us``
+        (absolute error, log2 µs histogram) and
+        ``costmodel.<class>.err_pct`` (relative error) — both
+        wall-derived, plus a deterministic observation counter."""
         if seconds <= 0:
             return
+        predicted = self.predict(job)
+        key = feature(job)
+        telemetry.counter("costmodel.%s.observations" % key).inc()
+        telemetry.observe(
+            "costmodel.%s.abs_err_us" % key, abs(predicted - seconds) * 1e6
+        )
+        telemetry.observe(
+            "costmodel.%s.err_pct" % key, 100.0 * abs(predicted - seconds) / seconds
+        )
         rate = seconds / _horizon_ns(job)
-        previous = self._rates.get(feature(job))
+        previous = self._rates.get(key)
         if previous is None:
-            self._rates[feature(job)] = rate
+            self._rates[key] = rate
         else:
-            self._rates[feature(job)] = ALPHA * rate + (1.0 - ALPHA) * previous
+            self._rates[key] = ALPHA * rate + (1.0 - ALPHA) * previous
         self._dirty = True
 
     def save(self):

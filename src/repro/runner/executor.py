@@ -42,9 +42,17 @@ import time
 import warnings
 
 from ..errors import ConfigError, WorkerError
+from ..obs import telemetry
 from . import cache as result_cache
 from . import costmodel, pool as pool_mod
 from .jobs import SimJob, run_job
+
+#: Executor telemetry: plan-level job accounting (the cache layer
+#: counts hits/misses itself; the pool counts dispatches).
+_BATCHES = telemetry.counter("runner.batches")
+_PLANNED = telemetry.counter("runner.jobs_planned")
+_UNIQUE = telemetry.counter("runner.jobs_unique")
+_INLINE = telemetry.counter("runner.jobs_inline")
 
 ENV_WORKERS = "REPRO_RUNNER_WORKERS"
 
@@ -109,28 +117,67 @@ def _chunk_size(pending_count, workers):
     return max(1, min(CHUNK_CAP, pending_count // (workers * CHUNK_THRESHOLD)))
 
 
-def _simulate_inline(pending, use_cache, cache_dir, model):
+class Progress:
+    """Streams job lifecycle events to a caller-provided callback.
+
+    The callback signature is ``callback(event, tag, done, total)``
+    where ``event`` is ``"hit"`` (replayed from the result cache),
+    ``"start"`` (a worker — or the inline loop — picked the job up) or
+    ``"done"`` (result landed). ``done``/``total`` count *finished*
+    unique jobs, cache hits included, so a renderer can draw
+    ``[done/total]`` without keeping its own books. A ``None`` callback
+    makes every notification a no-op.
+    """
+
+    __slots__ = ("callback", "total", "done")
+
+    def __init__(self, callback=None, total=0):
+        self.callback = callback
+        self.total = total
+        self.done = 0
+
+    def hit(self, tag):
+        self.done += 1
+        if self.callback is not None:
+            self.callback("hit", tag, self.done, self.total)
+
+    def start(self, tag):
+        if self.callback is not None:
+            self.callback("start", tag, self.done, self.total)
+
+    def finish(self, tag):
+        self.done += 1
+        if self.callback is not None:
+            self.callback("done", tag, self.done, self.total)
+
+
+def _simulate_inline(pending, use_cache, cache_dir, model, progress):
     """Serial fallback: run every pending job in this process."""
     payloads = {}
     for job, key in pending:
+        progress.start(job.tag)
         start = time.perf_counter()
         payload = run_job(job)
         model.observe(job, time.perf_counter() - start)
+        _INLINE.inc()
         if use_cache:
             result_cache.store(key, job, payload, cache_dir)
         payloads[key] = payload
+        progress.finish(job.tag)
     return payloads
 
 
-def _simulate_pending(pending, workers, use_cache, cache_dir):
+def _simulate_pending(pending, workers, use_cache, cache_dir, progress=None):
     """Simulate the deduplicated cache-miss jobs; returns ``{key:
     payload}``. Chooses the persistent pool, the legacy per-call pool,
     or inline execution based on ``workers`` and ``REPRO_RUNNER_POOL``."""
+    if progress is None:
+        progress = Progress()
     model = costmodel.CostModel.load(cache_dir)
     mode = pool_mod.pool_mode()
     try:
         if workers <= 1 or len(pending) <= 1 or mode == "off":
-            return _simulate_inline(pending, use_cache, cache_dir, model)
+            return _simulate_inline(pending, use_cache, cache_dir, model, progress)
         if mode == "legacy":
             payloads = {}
             computed = _pool_map_baseline([job for job, _key in pending], workers)
@@ -138,17 +185,20 @@ def _simulate_pending(pending, workers, use_cache, cache_dir):
                 if use_cache:
                     result_cache.store(key, job, payload, cache_dir)
                 payloads[key] = payload
+                progress.finish(job.tag)
             return payloads
         shared = pool_mod.shared_pool(workers)
         if shared is None or shared.running:
-            return _simulate_inline(pending, use_cache, cache_dir, model)
-        return _simulate_on_pool(shared, pending, workers, use_cache, cache_dir, model)
+            return _simulate_inline(pending, use_cache, cache_dir, model, progress)
+        return _simulate_on_pool(
+            shared, pending, workers, use_cache, cache_dir, model, progress
+        )
     finally:
         if use_cache:  # the model lives inside the cache directory
             model.save()
 
 
-def _simulate_on_pool(shared, pending, workers, use_cache, cache_dir, model):
+def _simulate_on_pool(shared, pending, workers, use_cache, cache_dir, model, progress):
     """Dispatch ``pending`` over the persistent pool: longest-first
     submission, streamed unordered completion, cache-as-transport."""
     ordered_jobs = costmodel.order_longest_first([job for job, _ in pending], model)
@@ -162,6 +212,8 @@ def _simulate_on_pool(shared, pending, workers, use_cache, cache_dir, model):
         entries,
         chunk_size=_chunk_size(len(entries), workers),
         max_workers=workers,
+        on_result=lambda job_id, _outcome: progress.finish(ordered_jobs[job_id].tag),
+        on_progress=lambda job_id, _tag: progress.start(ordered_jobs[job_id].tag),
     )
     payloads = {}
     for job, outcome in zip(ordered_jobs, outcomes):
@@ -242,13 +294,16 @@ def simulate_jobs(jobs, workers=None, on_job_done=None):
 
 def _probe_plans(plans, use_cache, cache_dir):
     """One cache-probe pass across every plan in the batch. Returns
-    ``(keyed, payloads, pending)`` where ``keyed`` maps each plan name
-    to its ``[(job, key)]`` list, ``payloads`` holds every cache hit,
-    and ``pending`` lists the deduplicated misses."""
+    ``(keyed, payloads, pending, hit_tags)`` where ``keyed`` maps each
+    plan name to its ``[(job, key)]`` list, ``payloads`` holds every
+    cache hit, ``pending`` lists the deduplicated misses, and
+    ``hit_tags`` the tags replayed from cache (for progress
+    reporting)."""
     keyed = {}
     payloads = {}
     pending = []
     pending_keys = set()
+    hit_tags = []
     for name, jobs in plans.items():
         jobs = list(jobs)
         tags = [job.tag for job in jobs]
@@ -265,23 +320,29 @@ def _probe_plans(plans, use_cache, cache_dir):
                 hit = result_cache.load(key, cache_dir)
                 if hit is not None:
                     payloads[key] = hit
+                    hit_tags.append(job.tag)
                     continue
             pending.append((job, key))
             pending_keys.add(key)
-    return keyed, payloads, pending
+    return keyed, payloads, pending, hit_tags
 
 
-def execute(jobs, workers=None, cache=None, cache_dir=None):
+def execute(jobs, workers=None, cache=None, cache_dir=None, progress=None):
     """Execute a job plan; returns ``{tag: RunResult}`` in plan order.
 
     ``workers=None`` reads ``REPRO_RUNNER_WORKERS``; ``cache=None``
     reads ``REPRO_CACHE`` (``True``/``False`` force it); ``cache_dir``
-    overrides the cache location (mainly for tests).
+    overrides the cache location (mainly for tests); ``progress`` is a
+    ``callback(event, tag, done, total)`` live-progress hook (see
+    :class:`Progress`).
     """
-    return execute_many({"": jobs}, workers=workers, cache=cache, cache_dir=cache_dir)[""]
+    return execute_many(
+        {"": jobs}, workers=workers, cache=cache, cache_dir=cache_dir,
+        progress=progress,
+    )[""]
 
 
-def execute_many(plans, workers=None, cache=None, cache_dir=None):
+def execute_many(plans, workers=None, cache=None, cache_dir=None, progress=None):
     """Execute a batch of job plans sharing one pool and one
     cache-probe pass; returns ``{name: {tag: RunResult}}``.
 
@@ -291,6 +352,12 @@ def execute_many(plans, workers=None, cache=None, cache_dir=None):
     multi-experiment invocation) goes through, so e.g. the seed-42
     gmake co-run baseline shared by fig4, table2, and table4a costs
     one simulation for the whole batch.
+
+    On completion the process's merged telemetry snapshot (pool, cache,
+    cost model, engine totals — worker registries included) is
+    persisted next to the result cache for ``repro telemetry``; the
+    write is best-effort and independent of whether result caching is
+    enabled.
     """
     from ..experiments.results import RunResult
 
@@ -299,9 +366,18 @@ def execute_many(plans, workers=None, cache=None, cache_dir=None):
         workers = default_workers()
     use_cache = result_cache.enabled() if cache is None else bool(cache)
 
-    keyed, payloads, pending = _probe_plans(plans, use_cache, cache_dir)
+    keyed, payloads, pending, hit_tags = _probe_plans(plans, use_cache, cache_dir)
+    _BATCHES.inc()
+    _PLANNED.inc(sum(len(pairs) for pairs in keyed.values()))
+    _UNIQUE.inc(len(payloads) + len(pending))
+    tracker = Progress(progress, total=len(payloads) + len(pending))
+    for tag in hit_tags:
+        tracker.hit(tag)
     if pending:
-        payloads.update(_simulate_pending(pending, workers, use_cache, cache_dir))
+        payloads.update(
+            _simulate_pending(pending, workers, use_cache, cache_dir, tracker)
+        )
+    telemetry.persist(cache_dir)
     return {
         name: {job.tag: RunResult.from_dict(payloads[key]) for job, key in pairs}
         for name, pairs in keyed.items()

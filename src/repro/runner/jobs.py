@@ -21,8 +21,17 @@ import cycle with ``repro.experiments``.
 
 import dataclasses
 import json
+import time
 
 from ..errors import ConfigError
+from ..obs import telemetry
+
+#: Engine telemetry: simulated-event and wall-time totals per job,
+#: accumulated wherever the job actually ran (worker registries stream
+#: back to the parent over the result pipe).
+_JOBS_SIMULATED = telemetry.counter("engine.jobs_simulated")
+_EVENTS_SIMULATED = telemetry.counter("engine.events_simulated")
+_JOB_WALL_SECONDS = telemetry.counter("engine.job_wall_seconds")
 
 #: Modes understood by :func:`build_system`. ``baseline``/``static``/
 #: ``dynamic`` map onto :class:`~repro.core.policy.PolicySpec`;
@@ -202,7 +211,15 @@ def run_job(job):
     """Simulate one job and return its result as a canonical payload
     dict. The payload is round-tripped through JSON so that a cold run,
     a worker-process run, and a cache replay all yield bit-identical
-    structures."""
+    structures. Telemetry (event/wall totals) is recorded *beside* the
+    payload, never inside it — the byte-identity gate depends on that."""
+    start = time.perf_counter()
     system = build_system(job)
     result = system.run(job.duration_ns, warmup_ns=job.warmup_ns)
-    return json.loads(json.dumps(result.to_dict()))
+    payload = json.loads(json.dumps(result.to_dict()))
+    _JOBS_SIMULATED.inc()
+    _EVENTS_SIMULATED.inc(system.sim.executed_events)
+    wall = time.perf_counter() - start
+    _JOB_WALL_SECONDS.inc(wall)
+    telemetry.observe("engine.job_wall_us", wall * 1e6)
+    return payload

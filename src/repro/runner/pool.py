@@ -39,6 +39,25 @@ import traceback
 import warnings
 
 from ..errors import WorkerError
+from ..obs import telemetry
+
+#: Pool telemetry (parent side). Worker-side metrics — engine event
+#: totals, cache stores, per-job wall time — accumulate in each
+#: worker's own registry and ride back piggybacked on the chunk result
+#: messages; :func:`WorkerPool._run` merges them in.
+_SPAWNED = telemetry.counter("pool.workers_spawned")
+_RESPAWNED = telemetry.counter("pool.workers_respawned")
+_CRASHES = telemetry.counter("pool.worker_crashes")
+_RUNS = telemetry.counter("pool.runs")
+_CHUNKS = telemetry.counter("pool.chunks_dispatched")
+_DISPATCHED = telemetry.counter("pool.jobs_dispatched")
+_COMPLETED = telemetry.counter("pool.jobs_completed")
+_FAILED = telemetry.counter("pool.jobs_failed")
+_RETRIED = telemetry.counter("pool.jobs_retried")
+_DISCARDS = telemetry.counter("pool.epoch_discards")
+_SIZE = telemetry.gauge("pool.size")
+_BUSY_SECONDS = telemetry.counter("pool.busy_seconds")
+_RUN_SECONDS = telemetry.counter("pool.run_seconds")
 
 #: How many times one job is re-dispatched to a fresh worker after the
 #: worker holding it died. One retry tolerates a transient kill (OOM,
@@ -105,15 +124,23 @@ def _worker_main(worker_index, task_queue, result_queue):
     """Worker process body: warm up once, then serve job chunks forever.
 
     A task is ``(epoch, chunk_id, [(job_id, job_dict, key, store_dir),
-    ...])`` or ``None`` to shut down. One result message is posted per
-    chunk: ``(worker_index, epoch, chunk_id, [(job_id, kind, value,
-    seconds), ...])`` where ``kind`` is ``"key"`` (value = cache key,
-    payload already persisted by this worker), ``"payload"`` (value =
-    payload dict) or ``"error"`` (value = worker-side traceback text).
-    The epoch lets the parent discard messages from a previous
+    ...])`` or ``None`` to shut down. Two message shapes flow back, both
+    epoch-tagged so the parent can discard leftovers from a previous
     ``run()`` call (a worker that posted its result and then died is
     presumed lost and retried; the late message must not corrupt the
-    next run's bookkeeping).
+    next run's bookkeeping):
+
+    * ``("progress", worker_index, epoch, job_id, tag)`` — a heartbeat
+      posted the moment a job is picked up, so ``repro run --progress``
+      can render a live per-job status line;
+    * ``("result", worker_index, epoch, chunk_id, [(job_id, kind,
+      value, seconds), ...], telem)`` — one per chunk, where ``kind``
+      is ``"key"`` (value = cache key, payload already persisted by
+      this worker), ``"payload"`` (value = payload dict) or ``"error"``
+      (value = worker-side traceback text), and ``telem`` is this
+      worker's telemetry snapshot *delta* since its last message
+      (engine event totals, cache stores, job wall times) for the
+      parent registry to merge.
     """
     # One-time warm-up, amortised over every job this worker will run:
     # import the full scenario/experiment machinery and hash the
@@ -132,6 +159,12 @@ def _worker_main(worker_index, task_queue, result_queue):
         results = []
         for job_id, job_dict, key, store_dir in entries:
             _maybe_test_crash(job_dict.get("tag"))
+            try:  # heartbeat: best-effort, never blocks the job
+                result_queue.put(
+                    ("progress", worker_index, epoch, job_id, job_dict.get("tag"))
+                )
+            except (OSError, ValueError):
+                pass
             start = time.perf_counter()
             try:
                 job = SimJob.from_dict(job_dict)
@@ -149,7 +182,8 @@ def _worker_main(worker_index, task_queue, result_queue):
             except Exception:
                 seconds = time.perf_counter() - start
                 results.append((job_id, "error", traceback.format_exc(), seconds))
-        result_queue.put((worker_index, epoch, chunk_id, results))
+        telem = telemetry.REGISTRY.take_snapshot()
+        result_queue.put(("result", worker_index, epoch, chunk_id, results, telem))
 
 
 class JobOutcome:
@@ -206,6 +240,8 @@ class WorkerPool:
         )
         process.start()
         self._workers.append(_Worker(index, process, task_queue))
+        _SPAWNED.inc()
+        _SIZE.set(len(self._workers))
         return self._workers[-1]
 
     def _respawn(self, worker):
@@ -221,6 +257,7 @@ class WorkerPool:
         worker.process = process
         worker.task_queue = task_queue
         worker.chunk = None
+        _RESPAWNED.inc()
 
     @property
     def size(self):
@@ -262,7 +299,8 @@ class WorkerPool:
 
     # -- execution ----------------------------------------------------
 
-    def run(self, entries, chunk_size=1, max_workers=None, on_result=None):
+    def run(self, entries, chunk_size=1, max_workers=None, on_result=None,
+            on_progress=None):
         """Execute ``entries`` and return a list of :class:`JobOutcome`
         in *input order* (dispatch order is the caller's submission
         order — sort longest-first for straggler-aware scheduling).
@@ -270,8 +308,10 @@ class WorkerPool:
         ``entries`` is a list of ``(job_dict, key, store_dir)``;
         ``key``/``store_dir`` of ``None`` selects payload transport.
         Completions stream back unordered; ``on_result(job_id,
-        outcome)`` fires as each job lands. Jobs on a crashed worker
-        are retried up to :data:`MAX_RETRIES` times, then reported as
+        outcome)`` fires as each job lands, and ``on_progress(job_id,
+        tag)`` fires when a worker's heartbeat says it *picked the job
+        up* (the live-progress hook). Jobs on a crashed worker are
+        retried up to :data:`MAX_RETRIES` times, then reported as
         ``kind="error"`` outcomes.
         """
         if self._closed:
@@ -280,12 +320,15 @@ class WorkerPool:
             raise WorkerError("worker pool is busy (re-entrant run() call)")
         self._running = True
         self._epoch += 1
+        _RUNS.inc()
+        started = time.perf_counter()
         try:
-            return self._run(entries, chunk_size, max_workers, on_result)
+            return self._run(entries, chunk_size, max_workers, on_result, on_progress)
         finally:
             self._running = False
+            _RUN_SECONDS.inc(time.perf_counter() - started)
 
-    def _run(self, entries, chunk_size, max_workers, on_result):
+    def _run(self, entries, chunk_size, max_workers, on_result, on_progress):
         epoch = self._epoch
         outcomes = [None] * len(entries)
         chunk_size = max(1, int(chunk_size))
@@ -319,24 +362,47 @@ class WorkerPool:
                 live = [e for e in block if outcomes[e[0]] is None]
                 if not live:
                     continue
-                idle.chunk = (epoch, chunk_id, live, retries)
+                idle.chunk = (epoch, chunk_id, live, retries, time.perf_counter())
                 idle.task_queue.put((epoch, chunk_id, live))
+                _CHUNKS.inc()
+                _DISPATCHED.inc(len(live))
 
         def absorb(message):
             nonlocal remaining
-            worker_index, msg_epoch, msg_chunk_id, results = message
+            if message[0] == "progress":
+                _worker_index, msg_epoch, job_id, tag = message[1:]
+                if msg_epoch == epoch and on_progress is not None:
+                    on_progress(job_id, tag)
+                return
+            _kind, worker_index, msg_epoch, msg_chunk_id, results, telem = message
+            # Worker-side telemetry (engine totals, cache stores) is a
+            # delta: merging it is correct even for stale-epoch
+            # messages — the work really happened.
+            telemetry.REGISTRY.merge(telem)
             worker = self._workers[worker_index]
             retries = 0
             if worker.chunk is not None and worker.chunk[:2] == (msg_epoch, msg_chunk_id):
                 retries = worker.chunk[3]
+                dispatched_at = worker.chunk[4]
                 worker.chunk = None
+            else:
+                dispatched_at = None
             if msg_epoch != epoch:
+                _DISCARDS.inc()
                 return  # stale message from an earlier run
+            arrived_at = time.perf_counter()
             for job_id, kind, value, seconds in results:
                 if outcomes[job_id] is not None:
                     continue  # late duplicate after a presumed-lost chunk
                 outcomes[job_id] = JobOutcome(kind, value, seconds, retries)
                 remaining -= 1
+                _COMPLETED.inc()
+                _BUSY_SECONDS.inc(seconds)
+                if dispatched_at is not None:
+                    # Queue wait: chunk turnaround minus simulation time
+                    # (dispatch overhead + time spent behind chunk-mates).
+                    wait = arrived_at - dispatched_at - seconds
+                    telemetry.observe("pool.queue_wait_us", max(0.0, wait) * 1e6)
                 if on_result is not None:
                     on_result(job_id, outcomes[job_id])
 
@@ -345,8 +411,9 @@ class WorkerPool:
             for worker in self._workers:
                 if worker.chunk is None or worker.process.is_alive():
                     continue
-                chunk_epoch, chunk_id, block, retries = worker.chunk
+                chunk_epoch, chunk_id, block, retries = worker.chunk[:4]
                 worker.chunk = None
+                _CRASHES.inc()
                 self._respawn(worker)
                 if chunk_epoch != epoch:
                     continue  # a previous run's leftovers; nobody is waiting
@@ -360,6 +427,7 @@ class WorkerPool:
                         RuntimeWarning,
                         stacklevel=4,
                     )
+                    _RETRIED.inc(len(live))
                     pending.append((chunk_id, live, retries + 1))
                 else:
                     for job_id, job_dict, _key, _store in live:
@@ -371,6 +439,7 @@ class WorkerPool:
                             retries,
                         )
                         remaining -= 1
+                        _FAILED.inc()
 
         dispatch()
         while remaining:
