@@ -49,9 +49,14 @@ def _trace_request(args):
 
 
 def _cmd_list(_args):
+    from .faults import builtin_plans
+    from .fleet import placement as fleet_placement
+
     print("experiments: " + ", ".join(registry.available()))
     print("workloads:   " + ", ".join(workload_registry.available()))
     print("schedulers:  " + ", ".join(sched_registry.available()))
+    print("fault plans: " + ", ".join(builtin_plans()))
+    print("placements:  " + ", ".join(fleet_placement.available()))
     return 0
 
 
@@ -156,6 +161,40 @@ def _cmd_run(args):
         print(outcome[name][1])
     if args.trace_out:
         print("\ntrace written to %s" % args.trace_out)
+    return 0
+
+
+def _cmd_fleet(args):
+    from .experiments import fleet as fleet_experiment
+    from .fleet import placement as fleet_placement
+
+    if args.policies is None:
+        policies = fleet_placement.available()
+    else:
+        policies = [name for name in args.policies.split(",") if name]
+    progress = _ProgressLine() if args.progress else None
+    try:
+        results = fleet_experiment.drive(
+            workers=args.workers,
+            cache=False if args.no_cache else None,
+            progress=progress,
+            seed=args.seed,
+            scale_override=args.scale,
+            scheduler=args.scheduler,
+            policies=policies,
+            hosts=args.hosts,
+            epochs=args.epochs,
+            rate=args.rate,
+            overcommit=args.overcommit,
+            migration_cost_ms=args.migration_cost_ms,
+        )
+    finally:
+        if progress is not None:
+            progress.close()
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    else:
+        print(fleet_experiment.format_result(results))
     return 0
 
 
@@ -389,10 +428,18 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Every simulation-running subcommand takes the same --seed; wire it
+    # once as a parent parser instead of repeating the add_argument.
+    seed_parent = argparse.ArgumentParser(add_help=False)
+    seed_parent.add_argument(
+        "--seed", type=int, default=42,
+        help="root RNG seed (default: 42; every stream derives from it)")
+
     sub.add_parser("list", help="list experiments and workloads")
 
     run_p = sub.add_parser(
-        "run", help="regenerate one or more paper tables/figures"
+        "run", help="regenerate one or more paper tables/figures",
+        parents=[seed_parent],
     )
     # Per-item validation via type=, not choices=: argparse (< 3.12)
     # rejects an empty nargs="*" list against choices, which would
@@ -404,7 +451,6 @@ def build_parser():
                        "pass" % ", ".join(registry.available()))
     run_p.add_argument("--all", action="store_true",
                        help="run every registered experiment as one batch")
-    run_p.add_argument("--seed", type=int, default=42)
     run_p.add_argument("--scale", type=float, default=None,
                        help="duration multiplier (default: REPRO_BENCH_SCALE or 1.0)")
     run_p.add_argument("--workers", type=_parse_workers, default=None,
@@ -424,11 +470,10 @@ def build_parser():
         ("corun", "run a workload co-located with swaptions"),
         ("solo", "run a workload alone on the host"),
     ):
-        p = sub.add_parser(name, help=help_text)
+        p = sub.add_parser(name, help=help_text, parents=[seed_parent])
         p.add_argument("workload", choices=workload_registry.available())
         p.add_argument("--policy", default="baseline",
                        help="baseline | static:N | dynamic")
-        p.add_argument("--seed", type=int, default=42)
         p.add_argument("--duration-ms", type=int, default=250)
         _add_scheduler_arg(p)
         _add_trace_args(p)
@@ -461,21 +506,53 @@ def build_parser():
                        "to the result cache")
 
     sweep_p = sub.add_parser(
-        "sweep", help="sweep micro-sliced core counts for one workload"
+        "sweep", help="sweep micro-sliced core counts for one workload",
+        parents=[seed_parent],
     )
     sweep_p.add_argument("workload", choices=workload_registry.available())
     sweep_p.add_argument("--max-cores", type=int, default=4)
-    sweep_p.add_argument("--seed", type=int, default=42)
     sweep_p.add_argument("--duration-ms", type=int, default=250)
 
     cmp_p = sub.add_parser(
-        "compare", help="compare baseline/static/dynamic for one workload"
+        "compare", help="compare baseline/static/dynamic for one workload",
+        parents=[seed_parent],
     )
     cmp_p.add_argument("workload", choices=workload_registry.available())
     cmp_p.add_argument("--cores", type=int, default=1,
                        help="static micro-sliced core count")
-    cmp_p.add_argument("--seed", type=int, default=42)
     cmp_p.add_argument("--duration-ms", type=int, default=250)
+
+    fleet_p = sub.add_parser(
+        "fleet", help="simulate a multi-host fleet under placement policies",
+        parents=[seed_parent],
+    )
+    fleet_p.add_argument("--policies", default=None, metavar="A,B,...",
+                         help="comma-separated placement policies to compare "
+                         "(default: all registered; see 'repro list')")
+    fleet_p.add_argument("--hosts", type=int, default=6)
+    fleet_p.add_argument("--epochs", type=int, default=6)
+    fleet_p.add_argument("--rate", type=float, default=24.0,
+                         help="expected session arrivals per epoch (Poisson)")
+    fleet_p.add_argument("--overcommit", type=float, default=2.0,
+                         help="per-host admission cap as a multiple of pCPUs")
+    fleet_p.add_argument("--migration-cost-ms", type=float, default=5.0,
+                         help="live-migration cost at scale 1.0 (scales with "
+                         "the epoch)")
+    fleet_p.add_argument("--scale", type=float, default=None,
+                         help="duration multiplier (default: REPRO_BENCH_SCALE "
+                         "or 1.0)")
+    fleet_p.add_argument("--workers", type=_parse_workers, default=None,
+                         metavar="N|auto",
+                         help="simulation worker processes; 'auto' = one per "
+                         "CPU (default: REPRO_RUNNER_WORKERS or 1)")
+    fleet_p.add_argument("--no-cache", action="store_true",
+                         help="ignore and do not write the on-disk result cache")
+    fleet_p.add_argument("--progress", action="store_true",
+                         help="live per-job status line on stderr")
+    fleet_p.add_argument("--json", action="store_true",
+                         help="emit summaries and checks as sorted-key JSON "
+                         "(byte-identical across same-seed runs)")
+    _add_scheduler_arg(fleet_p)
     return parser
 
 
@@ -501,6 +578,8 @@ def main(argv=None):
             return _cmd_faults(args)
         if args.command == "schedulers":
             return _cmd_schedulers(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
         if args.command == "solo":
             return _cmd_scenario(args, lambda wl, policy, seed: solo_scenario(wl, policy=policy, seed=seed))
     except ReproError as err:

@@ -12,6 +12,7 @@ from . import (
     fig7,
     fig8,
     fig9,
+    fleet,
     resilience,
     table1,
     table2,
@@ -33,8 +34,17 @@ _EXPERIMENTS = {
     "fig7": fig7,
     "fig8": fig8,
     "fig9": fig9,
+    "fleet": fleet,
     "resilience": resilience,
 }
+
+
+def is_driver(module):
+    """True for experiments that orchestrate their own job waves
+    (``drive()``) instead of emitting a static ``plan()`` — their job
+    set depends on intermediate results, so it cannot be enumerated up
+    front (and is therefore absent from the payload manifest)."""
+    return not hasattr(module, "plan")
 
 
 def available():
@@ -132,14 +142,42 @@ def run_many(
     if trace_out is not None and len(names) != 1:
         raise ConfigError("--trace-out requires exactly one experiment")
     modules = {name: get(name) for name in names}
+    drivers = [name for name in names if is_driver(modules[name])]
+    if drivers and (trace is not None or trace_out is not None or faults is not None):
+        # A driver's jobs are born mid-run from its own feedback loop;
+        # cross-cutting per-job rewrites would silently change its
+        # control flow, so refuse instead of half-applying.
+        raise ConfigError(
+            "--trace/--trace-out/--faults are not supported by driver "
+            "experiment(s): %s" % ", ".join(drivers)
+        )
+    if scheduler is not None:
+        sched_registry.get(scheduler)  # raises ConfigError on unknown name
     plans = {}
     for name, module in modules.items():
+        if is_driver(module):
+            continue
         jobs = module.plan(**kwargs)
         _prepare_plan(jobs, trace=trace, faults=faults, scheduler=scheduler)
         plans[name] = jobs
-    by_plan = runner.execute_many(plans, workers=workers, cache=cache, progress=progress)
+    by_plan = {}
+    if plans:
+        by_plan = runner.execute_many(
+            plans, workers=workers, cache=cache, progress=progress
+        )
     outcome = {}
     for name in names:
+        module = modules[name]
+        if is_driver(module):
+            results = module.drive(
+                workers=workers,
+                cache=cache,
+                progress=progress,
+                scheduler=scheduler,
+                **kwargs
+            )
+            outcome[name] = (results, module.format_result(results))
+            continue
         by_tag = by_plan[name]
         if trace_out is not None:
             from ..sim.trace import write_jsonl
@@ -148,8 +186,8 @@ def run_many(
                 trace_out, {job.tag: by_tag[job.tag].trace for job in plans[name]}
             )
         _check_fault_invariants(by_tag)
-        results = modules[name].reduce(by_tag)
-        outcome[name] = (results, modules[name].format_result(results))
+        results = module.reduce(by_tag)
+        outcome[name] = (results, module.format_result(results))
     return outcome
 
 

@@ -230,6 +230,29 @@ def mixed_io_scenario(policy=None, mode="tcp", num_pcpus=12, seed=42, **iperf_kw
     return scenario
 
 
+def fleet_host_scenario(domains=(), policy=None, num_pcpus=12, seed=42):
+    """One fleet host: a VM per resident session domain.
+
+    ``domains`` is a sequence of ``{"name", "workload", "vcpus"}``
+    specs as compiled by :mod:`repro.fleet.cluster` — each becomes an
+    unpinned VM running one workload from the registry, scheduled by
+    the normal credit pool on ``num_pcpus`` cores. The builder is
+    deliberately dumb: all placement intelligence lives in the fleet
+    layer, and a host job must be a pure function of its spec so the
+    result cache can replay it.
+    """
+    scenario = Scenario(
+        name="fleet_host:%d" % len(domains),
+        num_pcpus=num_pcpus,
+        policy=policy or PolicySpec.baseline(),
+        seed=seed,
+    )
+    for spec in domains:
+        vm = scenario.add_vm(spec["name"], vcpus=int(spec.get("vcpus", 1)))
+        vm.add(spec["workload"])
+    return scenario
+
+
 def solo_io_scenario(policy=None, mode="tcp", num_pcpus=12, seed=42, **iperf_kwargs):
     """Table 4c's solo bound: the iPerf VM alone (no hog sharing its
     pCPU)."""

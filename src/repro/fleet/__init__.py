@@ -1,0 +1,48 @@
+"""Sharded multi-host fleet simulation.
+
+``repro.fleet`` scales the single-host simulator out to a datacenter
+slice: N independent hosts (each an unmodified
+:class:`~repro.experiments.scenarios.Scenario` /
+:class:`~repro.core.hypervisor.Hypervisor` DES instance), an
+open-arrival session stream, pluggable placement policies with
+admission control and cost-gated live migration, all fanned out over
+the persistent :mod:`repro.runner` pool with a deterministic
+seed-per-host RNG split so the whole fleet is byte-reproducible.
+
+Layers:
+
+* :mod:`repro.fleet.arrivals` — the Poisson open-arrival session trace;
+* :mod:`repro.fleet.placement` — the policy registry (``random``,
+  ``first_fit``, ``steal_aware``) and admission rule;
+* :mod:`repro.fleet.cluster` — the epoch loop, migration model, and
+  fleet-wide summary aggregation.
+"""
+
+from .arrivals import CATALOG, Session, generate
+from .cluster import FleetSpec, FleetState, run_fleet, summary_json
+from .placement import (
+    HostView,
+    PlacementPolicy,
+    available,
+    describe,
+    feasible,
+    get,
+    register,
+)
+
+__all__ = [
+    "CATALOG",
+    "FleetSpec",
+    "FleetState",
+    "HostView",
+    "PlacementPolicy",
+    "Session",
+    "available",
+    "describe",
+    "feasible",
+    "generate",
+    "get",
+    "register",
+    "run_fleet",
+    "summary_json",
+]

@@ -1,0 +1,102 @@
+"""Open-arrival session load for the fleet layer.
+
+The single-host experiments drive *closed-loop* co-runners: a fixed
+set of workloads that run for the whole measurement window. A
+datacenter serves an **open** arrival process — sessions show up at
+rate λ whether or not the fleet is keeping up — and that difference is
+what makes placement and admission matter at all.
+
+Sessions arrive as a Poisson process (exponential inter-arrival times
+drawn from one seeded stream, so the whole trace is a pure function of
+the fleet seed), carry a workload drawn from a small catalog that maps
+onto the existing single-host pipelines (the iperf/netstack RX path
+for latency-critical sessions, the MOSBENCH/CPU-bound models for batch
+sessions), and hold their vCPU demand for a bounded number of epochs
+before departing.
+
+Time is measured in **epoch units**: the arrival rate is "expected
+sessions per epoch", independent of how long one epoch simulates.
+Scaling the simulated epoch duration down (``--scale``) therefore
+changes the *fidelity* of each epoch, never the shape of the offered
+load — a scaled-down fleet sees the same arrival trace.
+"""
+
+import dataclasses
+import random
+
+from ..sim.rng import derive_seed
+
+#: The session catalog: ``(workload kind, vCPU demand, relative
+#: weight)``.  ``iperf`` sessions exercise the guest RX/vIRQ pipeline —
+#: they are the latency-critical population whose tail the fleet
+#: experiment reports — while the rest model the consolidated batch
+#: population that creates the contention.
+CATALOG = (
+    ("iperf", 1, 3),
+    ("exim", 1, 2),
+    ("gmake", 2, 2),
+    ("lookbusy", 1, 2),
+    ("memclone", 1, 1),
+)
+
+#: Session holding times in epochs, drawn with these weights
+#: (short-lived sessions dominate, a long tail sticks around).
+HOLD_EPOCHS = (1, 2, 3, 4)
+HOLD_WEIGHTS = (4, 3, 2, 1)
+
+#: Name of the arrival RNG stream (derived from the fleet seed).
+STREAM = "fleet:arrivals"
+
+
+@dataclasses.dataclass(frozen=True)
+class Session:
+    """One arriving guest session."""
+
+    sid: int          #: arrival order, also the domain name suffix
+    arrival: float    #: arrival time in epoch units, in [0, epochs)
+    hold: int         #: service demand in whole epochs
+    workload: str     #: workload registry kind
+    vcpus: int        #: vCPU demand
+
+    @property
+    def name(self):
+        """The domain name this session gets on whatever host runs it
+        (stable across epochs and migrations, so an unchanged host
+        compiles to an identical — cacheable — job spec)."""
+        return "s%d" % self.sid
+
+    @property
+    def epoch(self):
+        """The epoch at whose start this session is admitted."""
+        return int(self.arrival)
+
+
+def generate(seed, rate, epochs, catalog=CATALOG):
+    """The full deterministic arrival trace for one fleet run.
+
+    ``rate`` is the expected number of session arrivals per epoch;
+    ``epochs`` bounds the horizon. Returns sessions in arrival order.
+    Everything is drawn from a single stream derived from ``seed``, so
+    the trace depends only on ``(seed, rate, epochs, catalog)``.
+    """
+    if rate <= 0 or epochs <= 0:
+        return []
+    rng = random.Random(derive_seed(seed, STREAM))
+    kinds = [(kind, vcpus) for kind, vcpus, _weight in catalog]
+    weights = [weight for _kind, _vcpus, weight in catalog]
+    sessions = []
+    clock = rng.expovariate(rate)
+    while clock < epochs:
+        kind, vcpus = rng.choices(kinds, weights=weights)[0]
+        hold = rng.choices(HOLD_EPOCHS, weights=HOLD_WEIGHTS)[0]
+        sessions.append(
+            Session(
+                sid=len(sessions),
+                arrival=clock,
+                hold=hold,
+                workload=kind,
+                vcpus=vcpus,
+            )
+        )
+        clock += rng.expovariate(rate)
+    return sessions

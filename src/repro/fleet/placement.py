@@ -1,0 +1,237 @@
+"""Placement policies and admission control for the fleet layer.
+
+Mirrors :mod:`repro.sched`: policies self-register into a name → class
+registry, anything that builds a fleet resolves the configured name
+through :func:`get`, and an unknown name raises
+:class:`~repro.errors.ConfigError` (a ``ReproError``, so the CLI
+reports it and exits 2).
+
+The admission rule is shared by every policy: a session may be placed
+on any host whose committed vCPU load plus the session's demand stays
+within the host's overcommit cap. When no host qualifies the session
+is **rejected** (counted, never queued — an open-arrival stream does
+not wait). What differs per policy is *which* feasible host wins:
+
+* ``random`` — uniform over feasible hosts, the no-information
+  baseline every orchestrator paper compares against;
+* ``first_fit`` — bin-packing by vCPU demand: the first host that can
+  take the session *uncontended* (committed load stays within its
+  pCPU count); only when every host would be contended does it spill
+  over, to the least-loaded feasible host, so unavoidable overcommit
+  is spread rather than stacked;
+* ``steal_aware`` — feedback placement: among feasible hosts, the one
+  whose guests reported the lowest steal fraction (runnable-but-not-
+  running share from the runstate accounting) in the previous epoch.
+  Steal time is the one contention signal a *guest* can measure
+  without hypervisor cooperation (the platform-agnostic steal-time
+  lens), which is exactly why a real control plane can act on it.
+  With no feedback yet (epoch 0) it degrades to least-loaded.
+  ``steal_aware`` is also the only builtin that **rebalances**: at
+  each epoch boundary it may live-migrate the most-stolen-from domains
+  off the hottest host, provided the observed steal exceeds the
+  configured migration cost (see :meth:`StealAwarePolicy.rebalance`).
+"""
+
+from ..errors import ConfigError
+
+_POLICIES = {}
+
+
+def register(cls):
+    """Class decorator: make ``cls`` selectable by its ``name``."""
+    name = cls.name
+    if not name:
+        raise ConfigError("placement policy %r has no name" % cls.__name__)
+    if name in _POLICIES and _POLICIES[name] is not cls:
+        raise ConfigError(
+            "placement policy name %r already registered by %r"
+            % (name, _POLICIES[name].__name__)
+        )
+    _POLICIES[name] = cls
+    return cls
+
+
+def get(name):
+    """Resolve a policy class by name."""
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown placement policy %r (available: %s)"
+            % (name, ", ".join(sorted(_POLICIES)))
+        ) from None
+
+
+def available():
+    """Registered policy names, sorted."""
+    return sorted(_POLICIES)
+
+
+def describe():
+    """``[(name, description), ...]`` for ``repro list``/docs."""
+    return [(name, _POLICIES[name].description) for name in sorted(_POLICIES)]
+
+
+class HostView:
+    """What a policy is allowed to see about one host.
+
+    ``load`` is the committed vCPU demand, ``uncontended`` the pCPU
+    count (load at or below it means every vCPU can hold a core),
+    ``capacity`` the overcommit cap, and ``steal_pct`` the aggregate
+    guest steal fraction observed in the previous epoch (``None``
+    before any feedback exists). ``domains`` maps resident domain
+    names to ``{"steal_ns": ..., "vcpus": ...}`` from the same epoch.
+    """
+
+    __slots__ = ("index", "uncontended", "capacity", "load", "steal_pct", "domains")
+
+    def __init__(self, index, uncontended, capacity, load=0, steal_pct=None):
+        self.index = index
+        self.uncontended = uncontended
+        self.capacity = capacity
+        self.load = load
+        self.steal_pct = steal_pct
+        self.domains = {}
+
+    def fits(self, demand):
+        return self.load + demand <= self.capacity
+
+    def fits_uncontended(self, demand):
+        return self.load + demand <= self.uncontended
+
+    def __repr__(self):
+        return "<HostView %d load=%d/%d steal=%s>" % (
+            self.index, self.load, self.capacity, self.steal_pct,
+        )
+
+
+def feasible(hosts, demand):
+    """Hosts that can admit ``demand`` more vCPUs, in index order."""
+    return [host for host in hosts if host.fits(demand)]
+
+
+class PlacementPolicy:
+    """Base policy: admission via :func:`feasible`, placement abstract,
+    rebalancing a no-op. ``rng`` is the policy's own named stream from
+    the fleet seed — policies that randomize stay deterministic."""
+
+    name = ""
+    description = ""
+
+    def __init__(self, rng=None):
+        self.rng = rng
+
+    def place(self, session, hosts):
+        """The chosen :class:`HostView` for ``session``, or ``None`` to
+        reject (no feasible host)."""
+        raise NotImplementedError
+
+    def rebalance(self, hosts, migration_cost_ns, max_moves=2):
+        """Proposed live migrations at an epoch boundary:
+        ``[(domain_name, src_index, dst_index), ...]``. Default: none."""
+        return []
+
+
+@register
+class RandomPolicy(PlacementPolicy):
+    """Uniform choice among feasible hosts (the no-information
+    baseline; spreads in expectation, stacks in variance)."""
+
+    name = "random"
+    description = "uniform over hosts with capacity (no-information baseline)"
+
+    def place(self, session, hosts):
+        candidates = feasible(hosts, session.vcpus)
+        if not candidates:
+            return None
+        return candidates[self.rng.randrange(len(candidates))]
+
+
+@register
+class FirstFitPolicy(PlacementPolicy):
+    """Bin-packing by vCPU demand with contention-avoiding spillover."""
+
+    name = "first_fit"
+    description = "first host that fits uncontended; overflow to least-loaded"
+
+    def place(self, session, hosts):
+        for host in hosts:
+            if host.fits_uncontended(session.vcpus):
+                return host
+        candidates = feasible(hosts, session.vcpus)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda host: (host.load, host.index))
+
+
+@register
+class StealAwarePolicy(PlacementPolicy):
+    """Feedback placement on guest-visible steal time, with
+    cost-gated live-migration rebalancing."""
+
+    name = "steal_aware"
+    description = "lowest guest steal fraction last epoch; rebalances off hot hosts"
+
+    #: Minimum steal-fraction gap (percentage points) between the
+    #: hottest host and a migration destination before a move is
+    #: considered worthwhile.
+    GAP_PCT = 2.0
+
+    def place(self, session, hosts):
+        candidates = feasible(hosts, session.vcpus)
+        if not candidates:
+            return None
+        # A zero-steal host that is one placement away from overcommit
+        # is not actually a good destination: prefer hosts that can
+        # still take the session uncontended, and use the steal signal
+        # to choose *among* those (steal is non-zero below the pCPU
+        # line too — bursty co-residents time-slice against each
+        # other). Only when every host would be contended does raw
+        # steal ranking take over.
+        pool = [
+            host for host in candidates if host.fits_uncontended(session.vcpus)
+        ] or candidates
+        informed = [host for host in pool if host.steal_pct is not None]
+        if informed:
+            return min(informed, key=lambda h: (h.steal_pct, h.load, h.index))
+        return min(pool, key=lambda h: (h.load, h.index))
+
+    def rebalance(self, hosts, migration_cost_ns, max_moves=2):
+        """Move the most-stolen-from domains off the hottest host.
+
+        A migration is proposed only when (a) the destination's steal
+        fraction trails the hottest host's by more than :data:`GAP_PCT`
+        percentage points, and (b) the domain's *observed* last-epoch
+        steal time exceeds the configured migration cost — the downtime
+        a live migration charges. Raising ``migration_cost_ns``
+        therefore monotonically suppresses migrations; at most
+        ``max_moves`` per boundary keep the churn bounded.
+        """
+        informed = [host for host in hosts if host.steal_pct is not None]
+        if len(informed) < 2:
+            return []
+        hot = max(informed, key=lambda h: (h.steal_pct, h.index))
+        load = {host.index: host.load for host in hosts}
+        moves = []
+        victims = sorted(
+            hot.domains.items(), key=lambda item: (-item[1]["steal_ns"], item[0])
+        )
+        for name, info in victims:
+            if len(moves) >= max_moves:
+                break
+            if info["steal_ns"] <= migration_cost_ns:
+                break  # sorted descending: nothing further qualifies
+            targets = [
+                host
+                for host in informed
+                if host.index != hot.index
+                and host.steal_pct + self.GAP_PCT < hot.steal_pct
+                and load[host.index] + info["vcpus"] <= host.capacity
+            ]
+            if not targets:
+                break
+            dest = min(targets, key=lambda h: (h.steal_pct, load[h.index], h.index))
+            moves.append((name, hot.index, dest.index))
+            load[dest.index] += info["vcpus"]
+            load[hot.index] -= info["vcpus"]
+        return moves

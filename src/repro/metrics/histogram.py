@@ -91,6 +91,30 @@ class Histogram:
         """Sorted ``[(bucket_index, count), ...]`` (sparse)."""
         return sorted(self._buckets.items())
 
+    @classmethod
+    def from_snapshot(cls, snap):
+        """Rebuild a mergeable histogram from its :meth:`snapshot` form.
+
+        The inverse is exact for everything percentiles depend on
+        (count, min, max, buckets); ``total`` is reconstructed from the
+        snapshot mean — a pure function of the snapshot, so replaying
+        and merging snapshots stays deterministic. This is how the
+        fleet layer folds per-host ``virq_delivery`` histograms (which
+        cross a JSON boundary per job) into one fleet-wide tail."""
+        hist = cls(name=snap.get("name", ""))
+        hist.count = int(snap.get("count", 0))
+        total = snap.get("total")
+        if total is None:
+            total = round(float(snap.get("mean", 0.0)) * hist.count)
+        hist.total = int(total)
+        if hist.count:
+            hist.min = int(snap.get("min", 0))
+            hist.max = int(snap.get("max", 0))
+        for index, count in snap.get("buckets", ()):
+            index = int(index)
+            hist._buckets[index] = hist._buckets.get(index, 0) + int(count)
+        return hist
+
     def snapshot(self):
         """JSON-native summary with deterministic tail percentiles."""
         return {

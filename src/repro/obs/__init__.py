@@ -26,7 +26,14 @@ use them without cycles.
 """
 
 from . import telemetry
-from .runstate import STATES, RunstateAccount, steal_report, validate, validate_result
+from .runstate import (
+    STATES,
+    RunstateAccount,
+    steal_fraction,
+    steal_report,
+    validate,
+    validate_result,
+)
 from .schema import META_KINDS, RESERVED_KEYS, TRACE_SCHEMA, known_kinds
 
 __all__ = [
@@ -36,6 +43,7 @@ __all__ = [
     "STATES",
     "TRACE_SCHEMA",
     "known_kinds",
+    "steal_fraction",
     "steal_report",
     "telemetry",
     "validate",

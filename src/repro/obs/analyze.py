@@ -213,14 +213,18 @@ def format_analysis(analysis):
         for domain in sorted(analysis.runstates):
             for vcpu in sorted(analysis.runstates[domain]):
                 snap = analysis.runstates[domain][vcpu]
+                elapsed = snap["elapsed"]
+                steal_pct = 100.0 * snap["runnable"] / elapsed if elapsed else 0.0
                 rows.append(
                     [vcpu]
                     + ["%.2f" % _ms(snap[name]) for name in STATES]
-                    + ["%.2f" % _ms(snap["elapsed"])]
+                    + ["%.2f" % _ms(elapsed), "%.1f" % steal_pct]
                 )
         sections.append(
             render_table(
-                ["vcpu"] + ["%s_ms" % name for name in STATES] + ["elapsed_ms"],
+                ["vcpu"]
+                + ["%s_ms" % name for name in STATES]
+                + ["elapsed_ms", "steal_pct"],
                 rows,
                 title="runstate accounting",
             )

@@ -96,3 +96,13 @@ def steal_report(result):
             rollup["elapsed"] += snap["elapsed"]
         report[domain] = rollup
     return report
+
+
+def steal_fraction(rollup):
+    """Steal share of one :func:`steal_report` rollup (or any dict with
+    ``runnable``/``elapsed`` keys), as a percentage of elapsed time —
+    the guest-visible contention signal the fleet's ``steal_aware``
+    placement policy and the ``fleet.host.<i>.steal_pct`` telemetry
+    gauges both consume."""
+    elapsed = rollup["elapsed"]
+    return 100.0 * rollup["runnable"] / elapsed if elapsed else 0.0

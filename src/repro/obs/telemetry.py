@@ -225,19 +225,9 @@ class Registry:
 
 def _histogram_from_snapshot(snap):
     """Rebuild a mergeable :class:`Histogram` from its snapshot dict
-    (bucket counts are exact; only min/max/total/count are carried)."""
-    hist = Histogram(name=snap.get("name", ""))
-    hist.count = int(snap.get("count", 0))
-    total = snap.get("total")
-    if total is None:
-        total = round(snap.get("mean", 0.0) * hist.count)
-    hist.total = int(total)
-    if hist.count:
-        hist.min = snap.get("min", 0)
-        hist.max = snap.get("max", 0)
-    for index, count in snap.get("buckets", []):
-        hist._buckets[int(index)] = hist._buckets.get(int(index), 0) + int(count)
-    return hist
+    (the canonical inverse now lives on the class itself; the fleet
+    layer uses the same path to merge per-host latency histograms)."""
+    return Histogram.from_snapshot(snap)
 
 
 # ----------------------------------------------------------------------

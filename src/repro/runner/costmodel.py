@@ -55,11 +55,21 @@ def model_path(cache_dir=None):
 
 def feature(job):
     """Coarse cost class of a job: scenario × policy mode × traced ×
-    faulted. Jobs in one class share a wall-time-per-simulated-ns rate."""
+    faulted. Jobs in one class share a wall-time-per-simulated-ns rate.
+
+    Fleet host jobs additionally key on a log2 bucket of their domain
+    count: a host running 16 session VMs generates an order of
+    magnitude more events per simulated ns than one running a single
+    VM, and folding both into one rate would wreck LPT ordering for
+    exactly the plans where it matters most."""
     policy = job.policy or {}
+    scenario = job.scenario
+    domains = (job.scenario_kwargs or {}).get("domains")
+    if domains is not None:
+        scenario = "%s-d%d" % (scenario, max(0, len(domains)).bit_length())
     return "|".join(
         (
-            job.scenario,
+            scenario,
             policy.get("mode", "baseline"),
             "traced" if job.trace is not None else "plain",
             "faulted" if job.faults is not None else "healthy",

@@ -139,6 +139,7 @@ def build_system(job):
     from ..core.policy import PolicySpec
     from ..experiments.scenarios import (
         corun_scenario,
+        fleet_host_scenario,
         mixed_io_scenario,
         solo_io_scenario,
         solo_scenario,
@@ -150,6 +151,7 @@ def build_system(job):
         "solo": solo_scenario,
         "mixed_io": mixed_io_scenario,
         "solo_io": solo_io_scenario,
+        "fleet_host": fleet_host_scenario,
     }
     builder = builders.get(job.scenario)
     if builder is None:

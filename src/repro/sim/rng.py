@@ -16,6 +16,33 @@ def derive_seed(root_seed, name):
     return int.from_bytes(digest[:8], "big")
 
 
+def split_seeds(root_seed, names):
+    """Derive one independent 64-bit child seed per name, verified
+    pairwise distinct.
+
+    This is the fleet-sharding primitive: every simulated host gets its
+    own root seed (``split_seeds(fleet_seed, ["host:0", ...])``), so the
+    per-host :class:`RngHub` namespaces can never overlap and the whole
+    fleet stays byte-reproducible regardless of how host jobs are
+    fanned out. A SHA-256 collision between two 64-bit child seeds is
+    astronomically unlikely, but silent stream aliasing would be a
+    correctness bug, so it raises instead of being assumed away.
+    """
+    seeds = {}
+    owners = {}
+    for name in names:
+        seed = derive_seed(root_seed, name)
+        clash = owners.get(seed)
+        if clash is not None and clash != name:
+            raise ValueError(
+                "seed collision: %r and %r both derive %d from root %d"
+                % (clash, name, seed, root_seed)
+            )
+        owners[seed] = name
+        seeds[name] = seed
+    return seeds
+
+
 class RngHub:
     """Factory of independent, reproducible ``random.Random`` streams."""
 

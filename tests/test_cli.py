@@ -124,3 +124,53 @@ class TestSweepAndCompare:
         assert "baseline" in out
         assert "static:1" in out
         assert "dynamic" in out
+
+
+class TestSharedSeedArgument:
+    def test_every_sim_subcommand_takes_seed(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "table2"],
+            ["corun", "gmake"],
+            ["solo", "exim"],
+            ["sweep", "gmake"],
+            ["compare", "gmake"],
+            ["fleet"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.seed == 42, argv
+            args = parser.parse_args(argv + ["--seed", "7"])
+            assert args.seed == 7, argv
+
+
+class TestFleetCommand:
+    _TINY = ["fleet", "--hosts", "2", "--epochs", "2", "--rate", "4",
+             "--scale", "0.02", "--no-cache"]
+
+    def test_list_enumerates_placements_and_fault_plans(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "placements:" in out
+        assert "steal_aware" in out
+        assert "fault plans:" in out
+        assert "lossy-ipi" in out
+        assert "fleet" in out  # the registered experiment
+
+    def test_fleet_table_output(self, capsys):
+        assert main(self._TINY + ["--policies", "first_fit"]) == 0
+        out = capsys.readouterr().out
+        assert "placement policy vs fleet-wide vIRQ" in out
+        assert "first_fit" in out
+
+    def test_fleet_json_is_sorted_and_parseable(self, capsys):
+        import json as json_module
+
+        assert main(self._TINY + ["--policies", "random,first_fit",
+                                  "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert sorted(payload["policies"]) == ["first_fit", "random"]
+        assert "checks" in payload
+
+    def test_unknown_policy_exits_two(self, capsys):
+        assert main(self._TINY + ["--policies", "warp"]) == 2
+        assert "unknown placement policy" in capsys.readouterr().err

@@ -27,6 +27,7 @@ class TestRegistry:
         assert registry.available() == [
             "baselines",
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fleet",
             "resilience",
             "table1", "table2", "table4a", "table4b", "table4c",
         ]
