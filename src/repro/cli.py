@@ -198,6 +198,22 @@ def _cmd_fleet(args):
     return 0
 
 
+def _cmd_serve(args):
+    import asyncio
+
+    from .serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache=False if args.no_cache else None,
+        max_queue_depth=args.max_queue_depth,
+        max_inflight=args.max_inflight,
+    )
+    return asyncio.run(serve_forever(config))
+
+
 def _cmd_analyze(args):
     from .obs import analyze
 
@@ -553,6 +569,28 @@ def build_parser():
                          help="emit summaries and checks as sorted-key JSON "
                          "(byte-identical across same-seed runs)")
     _add_scheduler_arg(fleet_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the long-lived HTTP simulation service "
+        "(see docs/serve.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8765,
+                         help="bind port; 0 picks a free one (default: 8765)")
+    serve_p.add_argument("--workers", type=_parse_workers, default=None,
+                         metavar="N|auto",
+                         help="simulation worker processes; 'auto' = one per "
+                         "CPU (default: REPRO_RUNNER_WORKERS or 1)")
+    serve_p.add_argument("--max-queue-depth", type=int, default=64,
+                         help="queued submissions before new work gets 429 "
+                         "(default: 64)")
+    serve_p.add_argument("--max-inflight", type=int, default=8,
+                         help="per-client in-flight submission cap "
+                         "(default: 8)")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="ignore and do not write the on-disk result cache")
     return parser
 
 
@@ -580,6 +618,8 @@ def main(argv=None):
             return _cmd_schedulers(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "solo":
             return _cmd_scenario(args, lambda wl, policy, seed: solo_scenario(wl, policy=policy, seed=seed))
     except ReproError as err:

@@ -137,14 +137,24 @@ def load(key, override=None):
 #: writer mid-rename and are left alone.
 TMP_SWEEP_AGE_SECONDS = 3600
 
-#: Directories already swept by this process (the sweep is a directory
-#: scan — once per process per directory is plenty).
-_SWEPT_DIRS = set()
+#: How often one process re-sweeps a directory. The latch used to be
+#: once-per-process, which was correct for CLI runs but wrong for a
+#: long-lived ``repro serve`` host: a week-old server would never
+#: clean up tmp files leaked by runs that crashed after its first
+#: store. Re-arming on an interval keeps the sweep cheap (one
+#: directory scan per hour per directory) while bounding how long a
+#: leak can linger.
+SWEEP_INTERVAL_SECONDS = 3600
+
+#: When this process last swept each directory
+#: (``{str(dir): monotonic_seconds}``); entries older than
+#: :data:`SWEEP_INTERVAL_SECONDS` re-arm.
+_SWEPT_DIRS = {}
 
 
 def reset_sweep_latch():
-    """Forget which directories this process has already swept. The
-    latch used to be unreachable module state, which made the sweep
+    """Forget when this process last swept each directory. The latch
+    used to be unreachable module state, which made the sweep
     untestable after the first store; tests (and long-lived services
     that relocate their cache) reset it explicitly."""
     _SWEPT_DIRS.clear()
@@ -176,15 +186,18 @@ def sweep_stale_tmp(directory, max_age_seconds=TMP_SWEEP_AGE_SECONDS):
 def store(key, job, result, override=None):
     """Persist one job result. Writes are atomic (tmp + rename) so a
     crashed run can at worst leave a stale tmp file, never a torn
-    entry — and the first store of a process opportunistically sweeps
-    tmp files old enough to be such leftovers. Failures degrade to a
-    warning — caching is best-effort."""
+    entry — and at most once per :data:`SWEEP_INTERVAL_SECONDS` a
+    store opportunistically sweeps tmp files old enough to be such
+    leftovers. Failures degrade to a warning — caching is
+    best-effort."""
     directory = cache_dir(override)
     path = entry_path(key, override)
     tmp = directory / ("%s.tmp.%d" % (key, os.getpid()))
     swept_key = str(directory)
-    if swept_key not in _SWEPT_DIRS:
-        _SWEPT_DIRS.add(swept_key)
+    now = time.monotonic()
+    last_swept = _SWEPT_DIRS.get(swept_key)
+    if last_swept is None or now - last_swept >= SWEEP_INTERVAL_SECONDS:
+        _SWEPT_DIRS[swept_key] = now
         sweep_stale_tmp(directory)
     blob = json.dumps(
         {"format": FORMAT, "key": key, "job": job.to_dict(), "result": result},

@@ -38,6 +38,7 @@ all knobs.
 
 import multiprocessing
 import os
+import threading
 import time
 import warnings
 
@@ -55,6 +56,19 @@ _UNIQUE = telemetry.counter("runner.jobs_unique")
 _INLINE = telemetry.counter("runner.jobs_inline")
 
 ENV_WORKERS = "REPRO_RUNNER_WORKERS"
+
+#: Serialises the simulation phase across threads. The persistent pool
+#: is strictly single-dispatcher (``WorkerPool.run`` raises on
+#: re-entry), which was fine while every process had exactly one
+#: ``execute*`` caller — but a long-lived multi-client host
+#: (``repro serve``) reaches this module from several request threads
+#: at once. Without the lock two threads can race the
+#: ``shared.running`` check and the loser degrades to inline
+#: execution (or trips the re-entrancy error); with it, batches queue
+#: up and share the pool in turn, and pool epoch accounting stays
+#: coherent. Cache probes and reduce() stay lock-free — only the
+#: simulate-the-misses phase is serialised.
+_DISPATCH_LOCK = threading.Lock()
 
 #: Chunking kicks in when a plan carries more than ``CHUNK_THRESHOLD``
 #: pending jobs per worker; chunks never exceed ``CHUNK_CAP`` jobs so
@@ -173,6 +187,13 @@ def _simulate_pending(pending, workers, use_cache, cache_dir, progress=None):
     or inline execution based on ``workers`` and ``REPRO_RUNNER_POOL``."""
     if progress is None:
         progress = Progress()
+    with _DISPATCH_LOCK:
+        return _simulate_pending_locked(
+            pending, workers, use_cache, cache_dir, progress
+        )
+
+
+def _simulate_pending_locked(pending, workers, use_cache, cache_dir, progress):
     model = costmodel.CostModel.load(cache_dir)
     mode = pool_mod.pool_mode()
     try:
@@ -277,12 +298,13 @@ def simulate_jobs(jobs, workers=None, on_job_done=None):
         if on_job_done is not None and outcome.kind == "payload":
             on_job_done(job_id, outcome.value)
 
-    outcomes = shared.run(
-        [(job.to_dict(), None, None) for job in jobs],
-        chunk_size=_chunk_size(len(jobs), workers),
-        max_workers=workers,
-        on_result=on_result,
-    )
+    with _DISPATCH_LOCK:
+        outcomes = shared.run(
+            [(job.to_dict(), None, None) for job in jobs],
+            chunk_size=_chunk_size(len(jobs), workers),
+            max_workers=workers,
+            on_result=on_result,
+        )
     payloads = []
     for job, outcome in zip(jobs, outcomes):
         if outcome is None or outcome.kind != "payload":

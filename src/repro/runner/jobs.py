@@ -40,6 +40,37 @@ _JOB_WALL_SECONDS = telemetry.counter("engine.job_wall_seconds")
 #: hooks disabled.
 POLICY_MODES = ("baseline", "static", "dynamic", "vturbo", "vtrs", "yield_only")
 
+#: Scenario overrides :func:`build_system` understands. Exposed (with
+#: :func:`available_scenarios`) so submission front ends — ``repro
+#: serve`` validating raw-SimJob JSON before it reaches a worker — can
+#: reject unknown knobs with a 4xx instead of a worker-side crash.
+KNOWN_OVERRIDES = ("scheduler", "micro_slice", "ple_window", "pv_spin_rounds")
+
+
+def _scenario_builders():
+    """Name → scenario-builder mapping (imports deferred to avoid the
+    ``repro.runner`` ↔ ``repro.experiments`` cycle)."""
+    from ..experiments.scenarios import (
+        corun_scenario,
+        fleet_host_scenario,
+        mixed_io_scenario,
+        solo_io_scenario,
+        solo_scenario,
+    )
+
+    return {
+        "corun": corun_scenario,
+        "solo": solo_scenario,
+        "mixed_io": mixed_io_scenario,
+        "solo_io": solo_io_scenario,
+        "fleet_host": fleet_host_scenario,
+    }
+
+
+def available_scenarios():
+    """Sorted scenario names a :class:`SimJob` may reference."""
+    return sorted(_scenario_builders())
+
 
 def baseline_policy():
     return {"mode": "baseline"}
@@ -137,22 +168,9 @@ def build_system(job):
     from ..core.comparators import VTrsPolicy, VTurboPolicy
     from ..core.microslice import MicroSliceEngine
     from ..core.policy import PolicySpec
-    from ..experiments.scenarios import (
-        corun_scenario,
-        fleet_host_scenario,
-        mixed_io_scenario,
-        solo_io_scenario,
-        solo_scenario,
-    )
     from ..hw.ple import PleConfig
 
-    builders = {
-        "corun": corun_scenario,
-        "solo": solo_scenario,
-        "mixed_io": mixed_io_scenario,
-        "solo_io": solo_io_scenario,
-        "fleet_host": fleet_host_scenario,
-    }
+    builders = _scenario_builders()
     builder = builders.get(job.scenario)
     if builder is None:
         raise ConfigError(

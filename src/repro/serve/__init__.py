@@ -1,0 +1,39 @@
+"""``repro serve`` — a long-running simulation service over HTTP.
+
+The batch CLI (``repro run``) answers one invocation and exits; this
+package keeps the warm worker pool, the content-addressed result
+cache, and the telemetry registry resident behind a small HTTP API so
+many clients can share them:
+
+* ``POST /experiments`` / ``POST /jobs`` — submit named experiments or
+  raw :class:`~repro.runner.jobs.SimJob` specs (validated against the
+  registries before they cost anything);
+* ``GET /jobs/<id>`` + ``GET /jobs/<id>/events`` — lifecycle polling
+  and live NDJSON/SSE progress streams;
+* ``GET /metrics`` — the telemetry registry in Prometheus exposition
+  format;
+* admission control with predictive ``Retry-After`` on overload, a
+  cache fast path for repeat submissions (``X-Repro-Cache: hit``), and
+  graceful drain on SIGTERM.
+
+Standard library only — see :mod:`repro.serve.http` for the protocol
+layer, :mod:`repro.serve.admission` for backpressure, and
+:mod:`repro.serve.jobs` for validation and dispatch. ``docs/serve.md``
+is the API reference.
+"""
+
+from .admission import AdmissionController, Rejection
+from .app import ServeApp, ServeConfig, serve_forever, start_in_thread
+from .jobs import JobManager, Submission, ValidationError
+
+__all__ = [
+    "AdmissionController",
+    "JobManager",
+    "Rejection",
+    "ServeApp",
+    "ServeConfig",
+    "Submission",
+    "ValidationError",
+    "serve_forever",
+    "start_in_thread",
+]

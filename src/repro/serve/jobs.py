@@ -1,0 +1,664 @@
+"""Submissions, validation, and the dispatcher behind ``repro serve``.
+
+A **submission** is one client request for simulation work — either a
+named experiment (``POST /experiments``) or a raw
+:class:`~repro.runner.jobs.SimJob` spec (``POST /jobs``). Submissions
+get server-assigned IDs and walk the lifecycle::
+
+    queued -> running -> done | failed
+    queued -> cancelled
+
+The :class:`JobManager` owns them end to end:
+
+* **validation first** — experiment names, scenario names, policy
+  modes, scheduler backends, fault plans, and placement policies are
+  all checked against their registries *at submission time*, so a bad
+  spec is a 400 before it costs a queue slot, never a worker-side
+  stack trace;
+* **cache fast path** — a submission whose every job is already in the
+  content-addressed result cache is answered synchronously (state
+  ``done`` before ``POST`` even returns, ``X-Repro-Cache: hit``), with
+  no pool round-trip and no admission slot consumed;
+* **one dispatcher task** — cold submissions queue onto a single
+  asyncio consumer that drains waves of them into one
+  :func:`repro.runner.execute_many` call each (cross-submission dedup
+  and LPT ordering for free), run in a worker thread so the event loop
+  keeps serving requests and streams;
+* **event streams** — every lifecycle transition and every executor
+  progress callback (cache hits, pool pickup heartbeats, completions)
+  appends to the submission's ordered event list; any number of
+  ``/jobs/<id>/events`` streams replay and then follow it live.
+"""
+
+import asyncio
+import itertools
+import time
+
+from ..errors import ReproError
+from ..experiments import registry as experiment_registry
+from ..experiments.results import RunResult
+from ..obs import telemetry
+from ..runner import cache as result_cache
+from ..runner import costmodel, execute_many
+from ..runner.jobs import (
+    KNOWN_OVERRIDES,
+    POLICY_MODES,
+    SimJob,
+    available_scenarios,
+)
+from ..sched import registry as sched_registry
+from ..workloads import registry as workload_registry
+
+_SUBMITTED = telemetry.counter("serve.submissions.accepted")
+_CACHE_FAST = telemetry.counter("serve.submissions.cache_fast_path")
+_DONE = telemetry.counter("serve.submissions.done")
+_FAILED = telemetry.counter("serve.submissions.failed")
+_CANCELLED = telemetry.counter("serve.submissions.cancelled")
+_WAVES = telemetry.counter("serve.dispatch_waves")
+_QUEUE_DEPTH = telemetry.gauge("serve.queue_depth")
+
+#: Lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+TERMINAL = (DONE, FAILED, CANCELLED)
+
+#: Most submissions folded into one ``execute_many`` wave. Bounded so
+#: one wave cannot hold the dispatcher (and every later submission)
+#: hostage for arbitrarily long.
+WAVE_MAX = 16
+
+#: Coarse wall-time guess for a driver experiment (fleet), which has no
+#: enumerable job plan to predict from; feeds Retry-After only.
+DRIVER_PREDICT_SECONDS = 5.0
+
+#: Experiment-submission knobs every experiment accepts.
+_EXPERIMENT_KEYS = ("experiment", "seed", "scale", "scheduler", "faults")
+#: Extra knobs accepted by driver experiments (the fleet spec).
+_DRIVER_KEYS = ("policies", "hosts", "epochs", "rate", "overcommit",
+                "migration_cost_ms")
+#: Keys a raw SimJob submission may carry.
+_JOB_KEYS = ("tag", "scenario", "duration_ns", "warmup_ns", "seed",
+             "scenario_kwargs", "policy", "overrides", "trace", "faults")
+
+#: Hard ceiling on one raw job's simulated horizon (warmup + duration):
+#: 10 simulated seconds is ~40x the longest registry experiment job and
+#: already minutes of wall time — anything larger is a typo'd unit.
+MAX_JOB_HORIZON_NS = 10_000_000_000
+
+
+class ValidationError(ReproError):
+    """A submission failed registry/type validation (HTTP 400)."""
+
+
+def _require(condition, detail):
+    if not condition:
+        raise ValidationError(detail)
+
+
+def _int_field(payload, key, default, minimum=None, maximum=None):
+    value = payload.get(key, default)
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             "%r must be an integer" % key)
+    if minimum is not None:
+        _require(value >= minimum, "%r must be >= %d" % (key, minimum))
+    if maximum is not None:
+        _require(value <= maximum, "%r must be <= %d" % (key, maximum))
+    return value
+
+
+def _number_field(payload, key, default, minimum=None):
+    value = payload.get(key, default)
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             "%r must be a number" % key)
+    if minimum is not None:
+        _require(value > minimum, "%r must be > %g" % (key, minimum))
+    return value
+
+
+class Work:
+    """A validated submission compiled to something executable: either
+    a job plan plus a finalizer, or a driver callable."""
+
+    __slots__ = ("kind", "name", "jobs", "finalize", "driver")
+
+    def __init__(self, kind, name, jobs=None, finalize=None, driver=None):
+        self.kind = kind  # "experiment" | "job"
+        self.name = name
+        self.jobs = jobs  # [SimJob] or None for drivers
+        self.finalize = finalize  # {tag: RunResult} -> result dict
+        self.driver = driver  # (workers, cache, progress) -> result dict
+
+
+def _validate_scheduler(name):
+    if name is None:
+        return None
+    _require(isinstance(name, str), "'scheduler' must be a backend name")
+    try:
+        sched_registry.get(name)
+    except ReproError as err:
+        raise ValidationError(str(err))
+    return name
+
+
+def _validate_faults(faults):
+    """A fault request: builtin plan name or canonical plan dict."""
+    if faults is None:
+        return None
+    from ..faults import builtin_plans
+
+    if isinstance(faults, str):
+        _require(faults in builtin_plans(),
+                 "unknown fault plan %r (available: %s)"
+                 % (faults, ", ".join(builtin_plans())))
+        return faults
+    _require(isinstance(faults, dict), "'faults' must be a plan name or dict")
+    return faults
+
+
+def compile_experiment(payload):
+    """Validate an experiment submission and compile it to
+    :class:`Work`. Raises :class:`ValidationError` on anything a
+    registry does not recognise."""
+    _require(isinstance(payload, dict), "expected a JSON object")
+    name = payload.get("experiment")
+    _require(isinstance(name, str) and name,
+             "'experiment' is required (see GET /experiments)")
+    try:
+        module = experiment_registry.get(name)
+    except ReproError as err:
+        raise ValidationError(str(err))
+    driver = experiment_registry.is_driver(module)
+    allowed = _EXPERIMENT_KEYS + (_DRIVER_KEYS if driver else ())
+    unknown = sorted(set(payload) - set(allowed))
+    _require(not unknown, "unknown field(s) %s (allowed: %s)"
+             % (", ".join(map(repr, unknown)), ", ".join(allowed)))
+
+    seed = _int_field(payload, "seed", 42)
+    scale = payload.get("scale")
+    if scale is not None:
+        scale = _number_field(payload, "scale", None, minimum=0.0)
+    scheduler = _validate_scheduler(payload.get("scheduler"))
+    faults = _validate_faults(payload.get("faults"))
+
+    if driver:
+        _require(faults is None,
+                 "driver experiment %r does not accept 'faults'" % name)
+        kwargs = {"seed": seed, "scale_override": scale, "scheduler": scheduler}
+        if "policies" in payload:
+            from ..fleet import placement
+
+            policies = payload["policies"]
+            _require(isinstance(policies, list) and policies
+                     and all(isinstance(p, str) for p in policies),
+                     "'policies' must be a non-empty list of names")
+            for policy in policies:
+                _require(policy in placement.available(),
+                         "unknown placement policy %r (available: %s)"
+                         % (policy, ", ".join(placement.available())))
+            kwargs["policies"] = policies
+        for key in ("hosts", "epochs"):
+            if key in payload:
+                kwargs[key] = _int_field(payload, key, None, minimum=1)
+        for key in ("rate", "overcommit", "migration_cost_ms"):
+            if key in payload:
+                kwargs[key] = _number_field(payload, key, None, minimum=0.0)
+
+        def drive(workers, cache, progress):
+            results = module.drive(
+                workers=workers, cache=cache, progress=progress, **kwargs
+            )
+            return {"results": results, "formatted": module.format_result(results)}
+
+        return Work("experiment", name, driver=drive)
+
+    try:
+        jobs = module.plan(seed=seed, scale_override=scale)
+        experiment_registry._prepare_plan(
+            jobs, trace=None, faults=faults, scheduler=scheduler
+        )
+    except ReproError as err:
+        raise ValidationError(str(err))
+
+    def finalize(by_tag):
+        experiment_registry._check_fault_invariants(by_tag)
+        results = module.reduce(by_tag)
+        return {"results": results, "formatted": module.format_result(results)}
+
+    return Work("experiment", name, jobs=jobs, finalize=finalize)
+
+
+def compile_job(payload):
+    """Validate a raw SimJob submission against the scenario, policy,
+    scheduler, workload, and fault registries; compile to
+    :class:`Work`."""
+    _require(isinstance(payload, dict), "expected a JSON object")
+    unknown = sorted(set(payload) - set(_JOB_KEYS))
+    _require(not unknown, "unknown field(s) %s (allowed: %s)"
+             % (", ".join(map(repr, unknown)), ", ".join(_JOB_KEYS)))
+
+    scenario = payload.get("scenario")
+    scenarios = available_scenarios()
+    _require(scenario in scenarios,
+             "unknown scenario %r (available: %s)"
+             % (scenario, ", ".join(scenarios)))
+
+    tag = payload.get("tag", "job")
+    _require(isinstance(tag, str) and tag, "'tag' must be a non-empty string")
+    duration_ns = _int_field(payload, "duration_ns", None, minimum=1)
+    warmup_ns = _int_field(payload, "warmup_ns", 0, minimum=0)
+    _require(warmup_ns + duration_ns <= MAX_JOB_HORIZON_NS,
+             "simulated horizon %d ns exceeds the %d ns service limit"
+             % (warmup_ns + duration_ns, MAX_JOB_HORIZON_NS))
+    seed = _int_field(payload, "seed", 42)
+
+    scenario_kwargs = payload.get("scenario_kwargs", {})
+    _require(isinstance(scenario_kwargs, dict), "'scenario_kwargs' must be an object")
+    workload = scenario_kwargs.get("workload_kind")
+    if workload is not None:
+        _require(workload in workload_registry.available(),
+                 "unknown workload %r (available: %s)"
+                 % (workload, ", ".join(workload_registry.available())))
+
+    policy = payload.get("policy", {"mode": "baseline"})
+    _require(isinstance(policy, dict), "'policy' must be an object")
+    mode = policy.get("mode", "baseline")
+    _require(mode in POLICY_MODES,
+             "unknown policy mode %r (available: %s)"
+             % (mode, ", ".join(POLICY_MODES)))
+
+    overrides = payload.get("overrides", {})
+    _require(isinstance(overrides, dict), "'overrides' must be an object")
+    bad = sorted(set(overrides) - set(KNOWN_OVERRIDES))
+    _require(not bad, "unknown override(s) %s (allowed: %s)"
+             % (", ".join(map(repr, bad)), ", ".join(KNOWN_OVERRIDES)))
+    _validate_scheduler(overrides.get("scheduler"))
+
+    trace = payload.get("trace")
+    if trace is not None:
+        _require(isinstance(trace, dict) and set(trace) <= {"kinds"},
+                 "'trace' must be an object with an optional 'kinds' list")
+
+    faults = _validate_faults(payload.get("faults"))
+    if isinstance(faults, str):
+        from ..faults import resolve_plan
+
+        faults = resolve_plan(faults, warmup_ns + duration_ns).to_dict()
+
+    job = SimJob(
+        tag=tag,
+        scenario=scenario,
+        duration_ns=duration_ns,
+        warmup_ns=warmup_ns,
+        seed=seed,
+        scenario_kwargs=dict(scenario_kwargs),
+        policy=dict(policy),
+        overrides=dict(overrides),
+        trace=dict(trace) if trace is not None else None,
+        faults=faults,
+    )
+
+    def finalize(by_tag):
+        return {"payload": by_tag[tag].to_dict()}
+
+    return Work("job", "%s:%s" % (scenario, tag), jobs=[job], finalize=finalize)
+
+
+class Submission:
+    """One accepted unit of client work and its event history."""
+
+    _ids = itertools.count(1)
+
+    __slots__ = ("id", "work", "client", "state", "events", "result", "error",
+                 "cache", "jobs_done", "jobs_total", "created_unix",
+                 "_queued_at", "cond", "predicted_seconds")
+
+    def __init__(self, work, client, predicted_seconds=0.0):
+        self.id = "j-%06d" % next(Submission._ids)
+        self.work = work
+        self.client = client
+        self.state = QUEUED
+        self.events = []
+        self.result = None
+        self.error = None
+        self.cache = None  # "hit" | "miss"
+        self.jobs_done = 0
+        self.jobs_total = len(work.jobs) if work.jobs is not None else None
+        self.created_unix = time.time()
+        self._queued_at = time.monotonic()
+        self.cond = asyncio.Condition()
+        self.predicted_seconds = predicted_seconds
+
+    def summary(self):
+        out = {
+            "id": self.id,
+            "kind": self.work.kind,
+            "name": self.work.name,
+            "client": self.client,
+            "state": self.state,
+            "cache": self.cache,
+            "jobs_total": self.jobs_total,
+            "jobs_done": self.jobs_done,
+            "events": len(self.events),
+            "created_unix": round(self.created_unix, 3),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobManager:
+    """Owns every submission, the dispatch queue, and the worker-thread
+    bridge. Constructed by :class:`repro.serve.app.ServeApp`; all
+    public methods run on the event loop."""
+
+    def __init__(self, workers=1, cache=None, cache_dir=None, history_limit=512):
+        self.workers = max(1, int(workers))
+        self.cache = cache
+        self.cache_dir = cache_dir
+        self.history_limit = history_limit
+        self.submissions = {}
+        self._order = []  # insertion-ordered ids (capped to history_limit)
+        self._queue = asyncio.Queue()
+        self._active = set()  # ids queued or running
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._loop = None
+        self._dispatcher = None
+        self._model = costmodel.CostModel.load(cache_dir)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self):
+        self._loop = asyncio.get_running_loop()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self):
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+
+    async def wait_idle(self):
+        """Block until no submission is queued or running."""
+        await self._idle.wait()
+
+    # -- admission support --------------------------------------------
+
+    def backlog_seconds(self):
+        """Predicted wall seconds to drain everything queued or
+        running, divided across the workers — the Retry-After basis."""
+        pending = sum(
+            self.submissions[sid].predicted_seconds
+            for sid in self._active
+            if sid in self.submissions
+        )
+        return pending / self.workers
+
+    def predict_seconds(self, work):
+        if work.jobs is None:
+            return DRIVER_PREDICT_SECONDS
+        return sum(self._model.predict(job) for job in work.jobs)
+
+    # -- submission ----------------------------------------------------
+
+    def probe_cache_sync(self, work):
+        """Blocking cache probe: ``{tag: payload}`` when *every* job of
+        ``work`` is cached, else ``None``. Runs in an executor thread
+        (payloads can be megabytes)."""
+        if work.jobs is None:
+            return None
+        if not (result_cache.enabled() if self.cache is None else bool(self.cache)):
+            return None
+        payloads = {}
+        for job in work.jobs:
+            hit = result_cache.load(result_cache.job_key(job), self.cache_dir)
+            if hit is None:
+                return None
+            payloads[job.tag] = hit
+        return payloads
+
+    async def submit(self, work, client, admission):
+        """Admit and enqueue (or fast-path) one compiled submission.
+        Returns ``(submission, cache_hit)``; raises
+        :class:`~repro.serve.admission.Rejection` on refusal."""
+        if admission.draining:
+            admission.admit(client)  # raises the 503
+        payloads = await asyncio.get_running_loop().run_in_executor(
+            None, self.probe_cache_sync, work
+        )
+        if payloads is not None:
+            sub = Submission(work, client)
+            self._register(sub)
+            sub.cache = "hit"
+            sub.jobs_done = sub.jobs_total
+            _SUBMITTED.inc()
+            _CACHE_FAST.inc()
+            self._post_event(sub, {"event": "queued", "cache": "hit"})
+            try:
+                by_tag = {
+                    tag: RunResult.from_dict(payload)
+                    for tag, payload in payloads.items()
+                }
+                sub.result = work.finalize(by_tag)
+                self._finish(sub, DONE, {"cache": "hit"})
+            except ReproError as err:
+                sub.error = str(err)
+                self._finish(sub, FAILED, {"error": sub.error})
+            return sub, True
+
+        admission.admit(client)
+        sub = Submission(work, client, predicted_seconds=self.predict_seconds(work))
+        sub.cache = "miss"
+        self._register(sub)
+        self._active.add(sub.id)
+        self._idle.clear()
+        _SUBMITTED.inc()
+        _QUEUE_DEPTH.set(self._queue.qsize() + 1)
+        self._post_event(sub, {"event": "queued", "cache": "miss"})
+        await self._queue.put((sub, admission))
+        return sub, False
+
+    def _register(self, sub):
+        self.submissions[sub.id] = sub
+        self._order.append(sub.id)
+        # Cap memory: forget the oldest *terminal* submissions past the
+        # history limit (active ones are never evicted).
+        while len(self._order) > self.history_limit:
+            for index, sid in enumerate(self._order):
+                old = self.submissions.get(sid)
+                if old is None or old.state in TERMINAL:
+                    self._order.pop(index)
+                    self.submissions.pop(sid, None)
+                    break
+            else:
+                break
+
+    def cancel(self, sub, admission):
+        """Cancel a still-queued submission; returns ``False`` when it
+        already left the queue (running or terminal)."""
+        if sub.state != QUEUED:
+            return False
+        sub.state = CANCELLED
+        self._active.discard(sub.id)
+        admission.unqueue(sub.client)
+        admission.finished(sub.client)
+        _CANCELLED.inc()
+        self._post_event(sub, {"event": "cancelled"})
+        if not self._active:
+            self._idle.set()
+        return True
+
+    # -- events --------------------------------------------------------
+
+    def _post_event(self, sub, payload):
+        """Append one event and wake the streamers. Loop thread only —
+        worker threads go through ``call_soon_threadsafe``."""
+        event = dict(payload)
+        event["seq"] = len(sub.events)
+        event["id"] = sub.id
+        event["ts_unix"] = round(time.time(), 3)
+        sub.events.append(event)
+
+        async def _notify():
+            async with sub.cond:
+                sub.cond.notify_all()
+
+        asyncio.ensure_future(_notify())
+
+    def _post_threadsafe(self, sub, payload):
+        self._loop.call_soon_threadsafe(self._post_event, sub, payload)
+
+    def _finish(self, sub, state, extra=None):
+        sub.state = state
+        self._active.discard(sub.id)
+        (_DONE if state == DONE else _FAILED if state == FAILED else _CANCELLED).inc()
+        self._post_event(sub, dict(extra or {}, event=state))
+        if not self._active:
+            self._idle.set()
+
+    # -- dispatch ------------------------------------------------------
+
+    async def _dispatch_loop(self):
+        while True:
+            sub, admission = await self._queue.get()
+            wave = [(sub, admission)]
+            while len(wave) < WAVE_MAX:
+                try:
+                    wave.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            live = [(s, a) for s, a in wave if s.state == QUEUED]
+            _QUEUE_DEPTH.set(self._queue.qsize())
+            if not live:
+                continue
+            _WAVES.inc()
+            for s, a in live:
+                s.state = RUNNING
+                a.started(s.client)
+                telemetry.observe(
+                    "serve.queue_wait_us",
+                    (time.monotonic() - s._queued_at) * 1e6,
+                )
+                self._post_event(s, {"event": "running"})
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._run_wave_sync, [s for s, _ in live]
+                )
+            finally:
+                for s, a in live:
+                    a.finished(s.client)
+
+    # -- worker-thread side -------------------------------------------
+
+    def _run_wave_sync(self, wave):
+        """Execute one wave in a worker thread: a single
+        ``execute_many`` over every planned submission (drivers run
+        after, one by one). Never raises — failures land on the
+        submissions they belong to."""
+        planned = [s for s in wave if s.work.jobs is not None]
+        drivers = [s for s in wave if s.work.jobs is None]
+
+        if planned:
+            self._execute_planned(planned)
+        for sub in drivers:
+            self._execute_driver(sub)
+        self._model = costmodel.CostModel.load(self.cache_dir)
+
+    def _execute_planned(self, subs):
+        tag_subs = {}
+        for sub in subs:
+            for job in sub.work.jobs:
+                tag_subs.setdefault(job.tag, []).append(sub)
+
+        def progress(event, tag, done, total):
+            for sub in tag_subs.get(tag, ()):
+                if event in ("hit", "done"):
+                    sub.jobs_done += 1
+                self._post_threadsafe(sub, {
+                    "event": "progress",
+                    "phase": event,
+                    "tag": tag,
+                    "jobs_done": sub.jobs_done,
+                    "jobs_total": sub.jobs_total,
+                })
+
+        plans = {sub.id: sub.work.jobs for sub in subs}
+        before = _engine_counters()
+        try:
+            by_plan = execute_many(
+                plans,
+                workers=self.workers,
+                cache=self.cache,
+                cache_dir=self.cache_dir,
+                progress=progress,
+            )
+        except Exception:
+            # One poisoned job fails a whole batch; isolate by retrying
+            # each submission on its own so innocent ones still land.
+            if len(subs) == 1:
+                self._fail_sync(subs[0])
+                return
+            for sub in subs:
+                self._execute_planned([sub])
+            return
+        # The engine/cache counter movement this wave caused rides on
+        # each terminal event, so streaming clients see what the wave
+        # cost without scraping /metrics.
+        delta = _counter_delta(before, _engine_counters())
+        for sub in subs:
+            try:
+                sub.result = sub.work.finalize(by_plan[sub.id])
+                self._complete_sync(sub, DONE, {"cache": "miss", "telemetry": delta})
+            except Exception as err:
+                sub.error = str(err)
+                self._complete_sync(sub, FAILED, {"error": sub.error})
+
+    def _execute_driver(self, sub):
+        def progress(event, tag, done, total):
+            if event in ("hit", "done"):
+                sub.jobs_done += 1
+            self._post_threadsafe(sub, {
+                "event": "progress",
+                "phase": event,
+                "tag": tag,
+                "jobs_done": sub.jobs_done,
+                "jobs_total": None,
+            })
+
+        before = _engine_counters()
+        try:
+            sub.result = sub.work.driver(self.workers, self.cache, progress)
+        except Exception:
+            self._fail_sync(sub)
+            return
+        delta = _counter_delta(before, _engine_counters())
+        self._complete_sync(sub, DONE, {"cache": "miss", "telemetry": delta})
+
+    def _fail_sync(self, sub):
+        import traceback
+
+        sub.error = traceback.format_exc(limit=8).strip().splitlines()[-1]
+        self._complete_sync(sub, FAILED, {"error": sub.error})
+
+    def _complete_sync(self, sub, state, extra):
+        self._loop.call_soon_threadsafe(self._finish, sub, state, extra)
+
+
+def _engine_counters():
+    """The deterministic engine/cache counters attached (as a wave
+    delta) to completion events."""
+    counters = telemetry.snapshot().get("counters", {})
+    keep = ("engine.jobs_simulated", "engine.events_simulated",
+            "cache.hits", "cache.misses", "cache.stores",
+            "pool.jobs_completed", "runner.jobs_inline")
+    return {name: counters.get(name, 0) for name in keep}
+
+
+def _counter_delta(before, after):
+    return {name: after[name] - before.get(name, 0) for name in after}

@@ -139,8 +139,8 @@ class TestStaleTmpSweep:
     def test_sweep_of_missing_directory_is_harmless(self, tmp_path):
         assert cache.sweep_stale_tmp(tmp_path / "nope") == 0
 
-    def test_store_sweeps_once_per_process(self, tmp_path, monkeypatch):
-        monkeypatch.setattr(cache, "_SWEPT_DIRS", set())
+    def test_store_sweeps_once_per_interval(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(cache, "_SWEPT_DIRS", {})
         stale = tmp_path / ("%s.tmp.99999" % ("d" * 64))
         stale.write_text("{leaked by a crashed run")
         self._age(stale, 2 * cache.TMP_SWEEP_AGE_SECONDS)
@@ -149,12 +149,42 @@ class TestStaleTmpSweep:
         cache.store(cache.job_key(job), job, {"ok": True}, tmp_path)
         assert not stale.exists()
 
-        # The memo prevents a second scan: a new stale file survives
-        # later stores in the same process.
+        # The latch prevents an immediate second scan: a new stale file
+        # survives later stores inside the same interval.
         stale.write_text("{leaked again")
         self._age(stale, 2 * cache.TMP_SWEEP_AGE_SECONDS)
         cache.store(cache.job_key(job), job, {"ok": True}, tmp_path)
         assert stale.exists()
+
+    def test_sweep_latch_rearms_after_interval(self, tmp_path, monkeypatch):
+        """A long-running process (``repro serve``) re-sweeps once the
+        interval elapses — the latch is time-based, not once-ever."""
+        monkeypatch.setattr(cache, "_SWEPT_DIRS", {})
+        job = _job()
+        cache.store(cache.job_key(job), job, {"ok": True}, tmp_path)
+
+        stale = tmp_path / ("%s.tmp.88888" % ("e" * 64))
+        stale.write_text("{leaked mid-lifetime")
+        self._age(stale, 2 * cache.TMP_SWEEP_AGE_SECONDS)
+        cache.store(cache.job_key(job), job, {"ok": True}, tmp_path)
+        assert stale.exists()  # still inside the interval
+
+        # Pretend the last sweep happened over an hour ago.
+        cache._SWEPT_DIRS[str(tmp_path)] -= cache.SWEEP_INTERVAL_SECONDS + 1
+        cache.store(cache.job_key(job), job, {"ok": True}, tmp_path)
+        assert not stale.exists()
+
+    def test_reset_sweep_latch_forces_immediate_resweep(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(cache, "_SWEPT_DIRS", {})
+        job = _job()
+        cache.store(cache.job_key(job), job, {"ok": True}, tmp_path)
+        stale = tmp_path / ("%s.tmp.77777" % ("f" * 64))
+        stale.write_text("{leaked")
+        self._age(stale, 2 * cache.TMP_SWEEP_AGE_SECONDS)
+
+        cache.reset_sweep_latch()
+        cache.store(cache.job_key(job), job, {"ok": True}, tmp_path)
+        assert not stale.exists()
 
 
 _WRITER_SCRIPT = """

@@ -1,0 +1,642 @@
+"""``repro serve`` end to end: validation, admission, lifecycle,
+streams, metrics, determinism, and a concurrent soak.
+
+Every HTTP test runs against a real server on a real socket (port 0,
+event loop on a background thread) with the cache pointed at a tmp
+dir — no mocked transport anywhere. Workers default to 1 so jobs run
+inline in the dispatcher thread; the concurrency under test is the
+service's (admission, streams, many clients), not the pool's, which
+has its own suite.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import telemetry
+from repro.runner.jobs import SimJob, run_job
+from repro.serve import ServeConfig, ValidationError, start_in_thread
+from repro.serve.admission import AdmissionController, Rejection
+from repro.serve.jobs import TERMINAL, compile_experiment, compile_job
+from repro.sim.time import ms
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    telemetry.reset()
+    telemetry.set_enabled(True)
+    yield
+    telemetry.reset()
+
+
+@pytest.fixture
+def server(tmp_path):
+    handle = start_in_thread(
+        ServeConfig(port=0, workers=1, cache_dir=str(tmp_path / "cache"))
+    )
+    yield handle
+    handle.stop()
+
+
+JOB = {
+    "tag": "point",
+    "scenario": "solo",
+    "scenario_kwargs": {"workload_kind": "gmake"},
+    "seed": 11,
+    "duration_ns": ms(4),
+}
+
+
+class Client:
+    """A tiny http.client wrapper; one connection per request keeps
+    tests independent of keep-alive behaviour (covered separately)."""
+
+    def __init__(self, handle, name=None):
+        self.handle = handle
+        self.name = name
+
+    def request(self, method, path, body=None, headers=None):
+        headers = dict(headers or {})
+        if self.name:
+            headers["X-Repro-Client"] = self.name
+        conn = http.client.HTTPConnection(
+            self.handle.host, self.handle.port, timeout=120
+        )
+        try:
+            conn.request(
+                method, path,
+                body=json.dumps(body) if body is not None else None,
+                headers=headers,
+            )
+            resp = conn.getresponse()
+            data = resp.read()
+        finally:
+            conn.close()
+        payload = None
+        if resp.getheader("Content-Type", "").startswith("application/json"):
+            payload = json.loads(data)
+        return resp.status, dict(resp.getheaders()), payload if payload is not None else data
+
+    def stream_events(self, job_id, sse=False):
+        """Consume ``/jobs/<id>/events`` until the stream closes;
+        returns the decoded event dicts (heartbeats skipped)."""
+        headers = {"Accept": "text/event-stream"} if sse else {}
+        if self.name:
+            headers["X-Repro-Client"] = self.name
+        conn = http.client.HTTPConnection(
+            self.handle.host, self.handle.port, timeout=120
+        )
+        try:
+            conn.request("GET", "/jobs/%s/events" % job_id, headers=headers)
+            resp = conn.getresponse()
+            assert resp.status == 200
+            body = resp.read().decode("utf-8")
+        finally:
+            conn.close()
+        events = []
+        for line in body.splitlines():
+            line = line.strip()
+            if sse:
+                if not line.startswith("data:"):
+                    continue
+                line = line[len("data:"):].strip()
+            if not line or line.startswith(":"):
+                continue
+            event = json.loads(line)
+            if event.get("event") != "heartbeat":
+                events.append(event)
+        return events, resp
+
+    def wait_terminal(self, job_id, timeout=60):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            status, _, body = self.request("GET", "/jobs/%s" % job_id)
+            assert status == 200
+            if body["state"] in TERMINAL:
+                return body
+            time.sleep(0.02)
+        raise AssertionError("submission %s never reached a terminal state" % job_id)
+
+
+class TestValidation:
+    """compile_* must reject anything a registry does not know —
+    submission-time 400s, never worker-side crashes."""
+
+    def test_minimal_job_compiles(self):
+        work = compile_job(dict(JOB))
+        assert len(work.jobs) == 1
+        assert work.jobs[0].scenario == "solo"
+
+    @pytest.mark.parametrize(
+        "patch, match",
+        [
+            ({"scenario": "warp"}, "unknown scenario"),
+            ({"duration_ns": None}, "must be an integer"),
+            ({"duration_ns": 0}, ">= 1"),
+            ({"duration_ns": True}, "must be an integer"),
+            ({"seed": "42"}, "must be an integer"),
+            ({"warmup_ns": -1}, ">= 0"),
+            ({"tag": ""}, "non-empty"),
+            ({"surprise": 1}, "unknown field"),
+            ({"policy": {"mode": "psychic"}}, "unknown policy mode"),
+            ({"overrides": {"quantum": 9}}, "unknown override"),
+            ({"overrides": {"scheduler": "warp"}}, "unknown scheduler"),
+            ({"scenario_kwargs": {"workload_kind": "bitcoin"}}, "unknown workload"),
+            ({"faults": "nope"}, "unknown fault plan"),
+            ({"trace": {"x": 1}}, "'trace' must be"),
+            ({"duration_ns": 20_000_000_000}, "service limit"),
+        ],
+    )
+    def test_bad_job_fields_rejected(self, patch, match):
+        payload = dict(JOB)
+        payload.update(patch)
+        with pytest.raises(ValidationError, match=match):
+            compile_job(payload)
+
+    def test_builtin_fault_plan_resolved_at_submission(self):
+        work = compile_job(dict(JOB, faults="slow-ipi"))
+        assert work.jobs[0].faults is not None
+        assert isinstance(work.jobs[0].faults, dict)
+
+    def test_experiment_requires_known_name(self):
+        with pytest.raises(ValidationError, match="unknown experiment"):
+            compile_experiment({"experiment": "fig99"})
+
+    def test_experiment_unknown_field_rejected(self):
+        with pytest.raises(ValidationError, match="unknown field"):
+            compile_experiment({"experiment": "fig7", "turbo": True})
+
+    def test_experiment_plan_carries_scheduler_override(self):
+        work = compile_experiment(
+            {"experiment": "fig7", "scale": 0.02, "scheduler": "shortslice"}
+        )
+        assert all(
+            job.overrides.get("scheduler") == "shortslice" for job in work.jobs
+        )
+
+    def test_experiment_bad_scheduler_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scheduler"):
+            compile_experiment({"experiment": "fig7", "scheduler": "warp"})
+
+    def test_driver_rejects_faults(self):
+        with pytest.raises(ValidationError, match="does not accept 'faults'"):
+            compile_experiment({"experiment": "fleet", "faults": "slow-ipi"})
+
+    def test_driver_rejects_unknown_policy(self):
+        with pytest.raises(ValidationError, match="unknown placement policy"):
+            compile_experiment({"experiment": "fleet", "policies": ["psychic"]})
+
+    def test_driver_compiles_without_a_plan(self):
+        work = compile_experiment({"experiment": "fleet", "epochs": 2})
+        assert work.jobs is None
+        assert work.driver is not None
+
+
+class TestAdmissionController:
+    def test_queue_full_rejects_429(self):
+        controller = AdmissionController(max_queue_depth=2)
+        controller.admit("a")
+        controller.admit("a")
+        with pytest.raises(Rejection) as exc:
+            controller.admit("b")
+        assert exc.value.status == 429
+        assert exc.value.retry_after >= 1
+
+    def test_client_cap_is_per_client(self):
+        controller = AdmissionController(max_inflight_per_client=1)
+        controller.admit("a")
+        with pytest.raises(Rejection):
+            controller.admit("a")
+        controller.admit("b")  # other clients unaffected
+
+    def test_started_then_finished_releases_the_slot(self):
+        controller = AdmissionController(max_inflight_per_client=1)
+        controller.admit("a")
+        controller.started("a")
+        assert controller.queued == 0
+        with pytest.raises(Rejection):
+            controller.admit("a")  # still in flight
+        controller.finished("a")
+        controller.admit("a")
+
+    def test_draining_rejects_503(self):
+        controller = AdmissionController()
+        controller.draining = True
+        with pytest.raises(Rejection) as exc:
+            controller.admit("a")
+        assert exc.value.status == 503
+
+    def test_retry_after_tracks_prediction_clamped(self):
+        backlog = {"seconds": 0.0}
+        controller = AdmissionController(
+            predicted_backlog_seconds=lambda: backlog["seconds"]
+        )
+        assert controller.retry_after() == 1  # floor
+        backlog["seconds"] = 7.4
+        assert controller.retry_after() == 7
+        backlog["seconds"] = 1e9
+        assert controller.retry_after() == 600  # ceiling
+
+    def test_rejections_are_counted(self):
+        before = telemetry.snapshot()["counters"].get(
+            "serve.admission.rejected_queue_full", 0
+        )
+        controller = AdmissionController(max_queue_depth=1)
+        controller.admit("a")
+        with pytest.raises(Rejection):
+            controller.admit("b")
+        after = telemetry.snapshot()["counters"]["serve.admission.rejected_queue_full"]
+        assert after == before + 1
+
+
+class TestHttpApi:
+    def test_healthz(self, server):
+        status, _, body = Client(server).request("GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["workers"] == 1
+
+    def test_experiment_listing_flags_drivers(self, server):
+        status, _, body = Client(server).request("GET", "/experiments")
+        assert status == 200
+        rows = {row["name"]: row["driver"] for row in body["experiments"]}
+        assert rows["fig7"] is False
+        assert rows["fleet"] is True
+
+    def test_unknown_route_404(self, server):
+        assert Client(server).request("GET", "/warp")[0] == 404
+
+    def test_unknown_submission_404(self, server):
+        assert Client(server).request("GET", "/jobs/j-999999")[0] == 404
+
+    def test_bad_json_body_400(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        conn.request("POST", "/jobs", body="{nope")
+        resp = conn.getresponse()
+        data = resp.read()
+        conn.close()
+        assert resp.status == 400
+        assert b"invalid JSON" in data
+
+    def test_method_not_allowed(self, server):
+        assert Client(server).request("DELETE", "/experiments")[0] == 405
+
+    def test_invalid_job_is_a_400_not_a_failed_submission(self, server):
+        client = Client(server)
+        status, _, body = client.request("POST", "/jobs", dict(JOB, scenario="warp"))
+        assert status == 400
+        assert "unknown scenario" in body["error"]
+        assert client.request("GET", "/jobs")[2]["jobs"] == []
+
+    def test_cold_job_lifecycle_and_byte_identity(self, server):
+        client = Client(server)
+        status, headers, body = client.request("POST", "/jobs", JOB)
+        assert status == 202
+        assert headers["X-Repro-Cache"] == "miss"
+        job_id = body["id"]
+        assert body["links"]["events"] == "/jobs/%s/events" % job_id
+
+        final = client.wait_terminal(job_id)
+        assert final["state"] == "done"
+        status, _, result = client.request("GET", "/jobs/%s/result" % job_id)
+        assert status == 200
+
+        # The service answer must be byte-identical to running the same
+        # spec directly — same payload dict, same canonical JSON.
+        local = run_job(SimJob(**{k: v for k, v in JOB.items()}))
+        assert result["result"]["payload"] == local
+
+    def test_repeat_submission_is_a_cache_hit_with_result_inline(self, server):
+        client = Client(server)
+        _, _, first = client.request("POST", "/jobs", JOB)
+        client.wait_terminal(first["id"])
+        pool_before = telemetry.snapshot()["counters"].get("pool.jobs_completed", 0)
+
+        status, headers, body = client.request("POST", "/jobs", JOB)
+        assert status == 200
+        assert headers["X-Repro-Cache"] == "hit"
+        assert body["state"] == "done"
+        assert body["cache"] == "hit"
+        assert "payload" in body["result"]
+        # The fast path never touches the pool.
+        pool_after = telemetry.snapshot()["counters"].get("pool.jobs_completed", 0)
+        assert pool_after == pool_before
+
+    def test_result_before_completion_is_409(self, server):
+        client = Client(server)
+        _, _, body = client.request("POST", "/jobs", JOB)
+        # Terminal already? Fine — the 409 window is timing-dependent;
+        # only assert the contract when we catch the submission early.
+        status, headers, _ = client.request("GET", "/jobs/%s/result" % body["id"])
+        if status == 409:
+            assert "Retry-After" in headers
+        else:
+            assert status == 200
+        client.wait_terminal(body["id"])
+
+    def test_events_stream_ndjson(self, server):
+        client = Client(server)
+        _, _, body = client.request("POST", "/jobs", dict(JOB, seed=77))
+        events, resp = client.stream_events(body["id"])
+        assert resp.getheader("Content-Type") == "application/x-ndjson"
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "done"
+        assert "running" in kinds
+        assert [event["seq"] for event in events] == sorted(
+            event["seq"] for event in events
+        )
+        done = events[-1]
+        assert done["telemetry"]["engine.jobs_simulated"] >= 1
+
+    def test_events_stream_sse(self, server):
+        client = Client(server)
+        _, _, body = client.request("POST", "/jobs", dict(JOB, seed=78))
+        events, resp = client.stream_events(body["id"], sse=True)
+        assert resp.getheader("Content-Type") == "text/event-stream"
+        assert events[-1]["event"] == "done"
+
+    def test_stream_replays_history_after_completion(self, server):
+        client = Client(server)
+        _, _, body = client.request("POST", "/jobs", dict(JOB, seed=79))
+        client.wait_terminal(body["id"])
+        events, _ = client.stream_events(body["id"])  # opened after the fact
+        assert events[0]["event"] == "queued"
+        assert events[-1]["event"] == "done"
+
+    def test_experiment_submission_matches_direct_run(self, server, tmp_path):
+        client = Client(server)
+        spec = {"experiment": "fig7", "scale": 0.02, "seed": 42}
+        _, headers, body = client.request("POST", "/experiments", spec)
+        final = client.wait_terminal(body["id"], timeout=120)
+        assert final["state"] == "done"
+        _, _, served = client.request("GET", "/jobs/%s/result" % body["id"])
+
+        from repro.experiments import fig7
+        from repro.runner import execute
+
+        jobs = fig7.plan(seed=42, scale_override=0.02)
+        by_tag = execute(jobs, workers=1, cache=True,
+                         cache_dir=str(tmp_path / "cache"))
+        local = fig7.reduce(by_tag)
+        assert served["result"]["results"] == json.loads(
+            json.dumps(local, sort_keys=True)
+        )
+        assert served["result"]["formatted"] == fig7.format_result(local)
+
+    def test_cancel_completed_submission_is_a_noop(self, server):
+        client = Client(server)
+        _, _, body = client.request("POST", "/jobs", JOB)
+        client.wait_terminal(body["id"])
+        status, _, after = client.request("POST", "/jobs/%s/cancel" % body["id"])
+        assert status == 200
+        assert after["state"] == "done"
+
+
+class TestQueuedStates:
+    """Deterministic queue-state tests: stop the dispatcher so
+    submissions stay queued instead of racing it."""
+
+    @pytest.fixture
+    def parked(self, tmp_path):
+        handle = start_in_thread(
+            ServeConfig(port=0, workers=1, cache_dir=str(tmp_path / "cache"),
+                        max_queue_depth=2, max_inflight=2)
+        )
+        handle.run(handle.app.manager.stop())  # park the dispatcher
+        yield handle
+        handle.stop()
+
+    def test_cancel_queued_submission(self, parked):
+        client = Client(parked, name="c1")
+        _, _, body = client.request("POST", "/jobs", JOB)
+        assert body["state"] == "queued"
+        status, _, after = client.request("DELETE", "/jobs/%s" % body["id"])
+        assert status == 200
+        assert after["state"] == "cancelled"
+        events, _ = client.stream_events(body["id"])
+        assert [event["event"] for event in events] == ["queued", "cancelled"]
+
+    def test_queue_depth_limit_yields_429_with_retry_after(self, parked):
+        a, b, c = (Client(parked, name=n) for n in ("a", "b", "c"))
+        assert a.request("POST", "/jobs", dict(JOB, seed=1))[0] == 202
+        assert b.request("POST", "/jobs", dict(JOB, seed=2))[0] == 202
+        status, headers, body = c.request("POST", "/jobs", dict(JOB, seed=3))
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        assert "queue depth" in body["error"]
+
+    def test_per_client_cap_yields_429(self, parked):
+        client = Client(parked, name="greedy")
+        assert client.request("POST", "/jobs", dict(JOB, seed=1))[0] == 202
+        # max_inflight=2 but queue depth is also 2; use a dedicated
+        # server knob-free check: second submit fills the queue, third
+        # would hit the queue limit first, so assert the cap message on
+        # a fresh parked server is covered by the unit tests; here we
+        # assert the cap releases nothing while queued.
+        assert client.request("POST", "/jobs", dict(JOB, seed=2))[0] == 202
+        status, _, body = client.request("POST", "/jobs", dict(JOB, seed=3))
+        assert status == 429
+
+    def test_drain_refuses_new_work_with_503(self, parked):
+        client = Client(parked, name="late")
+        parked.app.admission.draining = True
+        status, headers, body = client.request("POST", "/jobs", JOB)
+        assert status == 503
+        assert "Retry-After" in headers
+        assert "draining" in body["error"]
+
+
+class TestMetricsPath:
+    def test_live_metrics_pass_validate_prom(self, server):
+        client = Client(server)
+        _, _, body = client.request("POST", "/jobs", JOB)
+        client.wait_terminal(body["id"])
+        status, headers, text = client.request("GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        telemetry.validate_prom(text.decode("utf-8"))
+        assert "serve_requests" in text.decode("utf-8")
+        assert "serve_admission_admitted" in text.decode("utf-8")
+
+    def test_wall_metrics_follow_suffix_contract(self, server):
+        client = Client(server)
+        _, _, body = client.request("POST", "/jobs", JOB)
+        client.wait_terminal(body["id"])
+        snap = telemetry.snapshot(include_wall=False)
+        names = (
+            list(snap["counters"]) + list(snap["gauges"]) + list(snap["histograms"])
+        )
+        # Wall-derived serve metrics are excluded from the determinism
+        # surface by suffix; nothing wall-ish may hide under a bare name.
+        assert not any(name.endswith(telemetry.WALL_SUFFIXES) for name in names)
+        full = telemetry.snapshot(include_wall=True)
+        assert "serve.request_latency_us" in full["histograms"]
+        assert "serve.queue_wait_us" in full["histograms"]
+
+    def test_telemetry_endpoint_is_json(self, server):
+        status, _, snap = Client(server).request("GET", "/telemetry")
+        assert status == 200
+        assert snap["meta"]["format"] == telemetry.FORMAT
+
+    def test_identical_request_sequences_dump_identically(self, tmp_path):
+        """The determinism contract extends to the service: the same
+        request sequence against a fresh server + fresh cache produces
+        a byte-identical non-wall telemetry dump."""
+
+        def run_sequence(root):
+            telemetry.reset()
+            telemetry.set_enabled(True)
+            handle = start_in_thread(
+                ServeConfig(port=0, workers=1, cache_dir=str(root / "cache"))
+            )
+            try:
+                client = Client(handle, name="seq")
+                for seed in (21, 22, 21):  # third one is a cache hit
+                    _, _, body = client.request(
+                        "POST", "/jobs", dict(JOB, seed=seed)
+                    )
+                    if body["state"] not in TERMINAL:
+                        client.stream_events(body["id"])
+                client.request("GET", "/metrics")
+                return telemetry.REGISTRY.dumps(include_wall=False)
+            finally:
+                handle.stop()
+
+        first = run_sequence(tmp_path / "a")
+        second = run_sequence(tmp_path / "b")
+        assert first == second
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_persists_telemetry(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        handle = start_in_thread(
+            ServeConfig(port=0, workers=1, cache_dir=str(cache_dir))
+        )
+        try:
+            client = Client(handle)
+            _, _, body = client.request("POST", "/jobs", JOB)
+            handle.drain()
+            assert handle.app.admission.draining
+            status, _, final = client.request("GET", "/jobs/%s" % body["id"])
+            assert status == 200  # reads still served while draining
+            assert final["state"] == "done"
+            assert (cache_dir / "meta" / "telemetry.json").exists()
+        finally:
+            handle.stop()
+
+
+@pytest.mark.slow
+class TestSoak:
+    def test_concurrent_mixed_clients_soak(self, tmp_path):
+        """The acceptance soak: 8 concurrent clients for ≥30 s mixing
+        cold, repeat, and invalid submissions plus event streams. Zero
+        stuck submissions, every stream ends terminal, rejections are
+        counted — never surfaced as errors."""
+        handle = start_in_thread(
+            ServeConfig(port=0, workers=1, cache_dir=str(tmp_path / "cache"),
+                        max_queue_depth=32, max_inflight=4)
+        )
+        stop_at = time.time() + 31.0
+        errors = []
+        stats = {"cold": 0, "hit": 0, "invalid": 0, "rejected": 0, "streams": 0}
+        lock = threading.Lock()
+        submitted = []
+
+        def client_loop(index):
+            client = Client(handle, name="soak-%d" % index)
+            round_no = 0
+            try:
+                while time.time() < stop_at:
+                    round_no += 1
+                    # Cold work: a seed this client has never used.
+                    cold = dict(JOB, seed=1000 + index * 10_000 + round_no,
+                                duration_ns=ms(1))
+                    status, headers, body = client.request("POST", "/jobs", cold)
+                    if status in (202, 200):
+                        with lock:
+                            submitted.append(body["id"])
+                            stats["cold"] += 1
+                        if round_no % 3 == 0:
+                            events, _ = client.stream_events(body["id"])
+                            assert events[-1]["event"] in TERMINAL
+                            with lock:
+                                stats["streams"] += 1
+                        else:
+                            client.wait_terminal(body["id"])
+                    elif status == 429:
+                        assert int(headers["Retry-After"]) >= 1
+                        with lock:
+                            stats["rejected"] += 1
+                        time.sleep(0.05)
+                    else:
+                        raise AssertionError("unexpected status %d" % status)
+
+                    # Repeat work: everyone resubmits the same point.
+                    status, headers, body = client.request("POST", "/jobs", JOB)
+                    if status == 200:
+                        assert headers["X-Repro-Cache"] == "hit"
+                        with lock:
+                            stats["hit"] += 1
+                    elif status == 202:
+                        client.wait_terminal(body["id"])
+                        with lock:
+                            submitted.append(body["id"])
+                    elif status == 429:
+                        with lock:
+                            stats["rejected"] += 1
+                    else:
+                        raise AssertionError("unexpected status %d" % status)
+
+                    # Invalid work: must be a 400, never a submission.
+                    status, _, _ = client.request(
+                        "POST", "/jobs", dict(JOB, scenario="warp")
+                    )
+                    assert status == 400
+                    with lock:
+                        stats["invalid"] += 1
+            except Exception as err:  # surfaced after join
+                errors.append("client %d round %d: %r" % (index, round_no, err))
+
+        threads = [
+            threading.Thread(target=client_loop, args=(i,), daemon=True)
+            for i in range(8)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            assert not any(thread.is_alive() for thread in threads), "client hung"
+            assert errors == []
+
+            # Nothing stuck: every submission the clients saw accepted
+            # reaches a terminal state.
+            client = Client(handle)
+            deadline = time.time() + 60
+            for job_id in submitted:
+                status, _, body = client.request("GET", "/jobs/%s" % job_id)
+                if status == 404:
+                    continue  # evicted terminal history — fine
+                while body["state"] not in TERMINAL:
+                    assert time.time() < deadline, "stuck: %s" % job_id
+                    time.sleep(0.05)
+                    _, _, body = client.request("GET", "/jobs/%s" % job_id)
+
+            counters = telemetry.snapshot()["counters"]
+            rejected = sum(
+                value for name, value in counters.items()
+                if name.startswith("serve.admission.rejected")
+            )
+            assert rejected == stats["rejected"]
+            assert stats["cold"] >= 8
+            assert stats["hit"] >= 8
+            assert stats["streams"] >= 1
+            assert counters["serve.submissions.cache_fast_path"] >= stats["hit"]
+        finally:
+            handle.drain()
+            handle.stop()
